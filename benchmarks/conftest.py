@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper at CI scale
+(small batch sizes / resolutions, short MILP time limits) so the whole harness
+runs on a single CPU core.  The printed output of each benchmark is the text
+analogue of the corresponding figure; EXPERIMENTS.md records how the measured
+shapes compare with the paper's reported numbers.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost_model import FlopCostModel, ProfileCostModel
+from repro.experiments import build_training_graph
+
+GiB = 2**30
+MiB = 2**20
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Solver-backed experiments are too expensive to repeat for statistical
+    timing, and their value here is the regenerated artifact rather than the
+    wall-clock distribution.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def vgg16_profile_graph():
+    """VGG16 training graph with the profile cost model (Figure 5a setting)."""
+    return build_training_graph("vgg16", cost_model=ProfileCostModel(), scale="ci")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_profile_graph():
+    """MobileNet training graph with the profile cost model (Figure 5b setting)."""
+    return build_training_graph("mobilenet", cost_model=ProfileCostModel(), scale="ci")
+
+
+@pytest.fixture(scope="session")
+def unet_profile_graph():
+    """U-Net training graph with the profile cost model (Figure 5c setting)."""
+    return build_training_graph("unet", cost_model=ProfileCostModel(), scale="ci")
+
+
+@pytest.fixture(scope="session")
+def vgg16_flop_graph():
+    """VGG16 training graph with FLOP costs (Table 2 / Figure 8 setting)."""
+    return build_training_graph("vgg16", cost_model=FlopCostModel(), scale="ci")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_flop_graph():
+    return build_training_graph("mobilenet", cost_model=FlopCostModel(), scale="ci")
+
+
+@pytest.fixture(scope="session")
+def unet_flop_graph():
+    return build_training_graph("unet", cost_model=FlopCostModel(), scale="ci")

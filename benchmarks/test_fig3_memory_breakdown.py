@@ -1,0 +1,27 @@
+"""Figure 3: feature memory dominates parameter memory across architectures."""
+
+from conftest import run_once
+
+from repro.experiments.memory_breakdown import format_memory_breakdown, memory_breakdown_table
+from repro.models import fcn8, mobilenet_v1, resnet50, segnet, unet, vgg19
+
+
+def test_fig3_memory_breakdown(benchmark):
+    graphs = {
+        "VGG19": vgg19(batch_size=64, resolution=224),
+        "ResNet50": resnet50(batch_size=32, resolution=224),
+        "MobileNet": mobilenet_v1(batch_size=64, resolution=224),
+        "U-Net": unet(batch_size=4, resolution=(416, 608)),
+        "FCN8": fcn8(batch_size=4, resolution=(416, 608)),
+        "SegNet": segnet(batch_size=4, resolution=(416, 608)),
+    }
+    breakdowns = run_once(benchmark, memory_breakdown_table, graphs)
+
+    print("\n[Figure 3] training memory breakdown (checkpoint-all policy)")
+    print(format_memory_breakdown(breakdowns, gpu_limit_bytes=16 * 2**30))
+
+    # Paper takeaway: activations (features) dominate parameters for every
+    # convolutional architecture at realistic batch sizes.
+    for b in breakdowns:
+        assert b.features > b.parameters, b.model
+        assert b.feature_fraction() > 0.5, b.model

@@ -1,0 +1,55 @@
+"""Figure 5: computational overhead vs memory budget on VGG16, MobileNet and U-Net."""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import budget_grid, budget_sweep, format_sweep
+
+LINEAR_STRATEGIES = ("checkpoint_all", "chen_sqrt_n", "chen_greedy", "griewank_logn",
+                     "checkmate_approx", "checkmate_ilp")
+NONLINEAR_STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "ap_greedy", "linearized_sqrt_n",
+                        "linearized_greedy", "checkmate_approx", "checkmate_ilp")
+
+
+def _checkmate_dominates(points) -> None:
+    """Assert the paper's takeaway: Checkmate's in-budget overhead is the lowest."""
+    by_budget = {}
+    for p in points:
+        by_budget.setdefault(p.budget, {})[p.strategy] = p
+    for budget, entries in by_budget.items():
+        cm = entries.get("checkmate_ilp") or entries.get("checkmate_approx")
+        if cm is None or not cm.feasible:
+            continue
+        for key, other in entries.items():
+            if key.startswith("checkmate") or not other.feasible:
+                continue
+            assert cm.overhead <= other.overhead + 1e-6, (
+                f"budget {budget}: {key} ({other.overhead:.3f}x) beat Checkmate "
+                f"({cm.overhead:.3f}x)")
+
+
+@pytest.mark.parametrize("model_fixture,strategies,panel", [
+    ("vgg16_profile_graph", LINEAR_STRATEGIES, "a: VGG16"),
+    ("mobilenet_profile_graph", LINEAR_STRATEGIES, "b: MobileNet"),
+    ("unet_profile_graph", NONLINEAR_STRATEGIES, "c: U-Net"),
+])
+def test_fig5_budget_sweep(benchmark, request, model_fixture, strategies, panel):
+    graph = request.getfixturevalue(model_fixture)
+    budgets = budget_grid(graph, num_budgets=4, low_fraction=0.45)
+
+    points = run_once(benchmark, budget_sweep, graph, budgets,
+                      strategies=strategies, ilp_time_limit_s=90)
+
+    print(f"\n[Figure 5{panel}] {graph.name}")
+    print(format_sweep(points))
+
+    feasible = [p for p in points if p.feasible]
+    assert feasible, "at least some (strategy, budget) points must be feasible"
+    assert any(p.strategy.startswith("checkmate") for p in feasible)
+    _checkmate_dominates(points)
+    # Overheads are >= 1 and grow (weakly) as the budget shrinks for Checkmate.
+    checkmate = sorted((p for p in feasible if p.strategy == "checkmate_ilp"),
+                       key=lambda p: p.budget)
+    overheads = [p.overhead for p in checkmate]
+    assert all(a >= b - 1e-6 for a, b in zip(overheads, overheads[1:]))

@@ -1,0 +1,42 @@
+"""Figure 6: maximum batch size at <=1 extra forward pass of overhead."""
+
+from conftest import MiB, run_once
+
+from repro.experiments.max_batch import format_max_batch, max_batch_experiment
+from repro.models import mobilenet_v1, unet, vgg19
+
+# CI-scale stand-ins for the paper's 16 GB V100: smaller resolutions with a
+# proportionally smaller budget keep the outer batch-size search fast while
+# preserving the relative ordering between strategies.
+BUDGET = 1024 * MiB
+STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "linearized_greedy", "checkmate_approx")
+
+
+def test_fig6_max_batch(benchmark):
+    models = {
+        "VGG19": lambda b: vgg19(batch_size=b, resolution=64),
+        "MobileNet": lambda b: mobilenet_v1(batch_size=b, resolution=64),
+        "U-Net": lambda b: unet(batch_size=b, resolution=(96, 128), base_filters=16, depth=3),
+    }
+    results = run_once(benchmark, max_batch_experiment, models, budget=BUDGET,
+                       strategies=STRATEGIES, max_batch=1024)
+
+    print(f"\n[Figure 6] max batch size at {BUDGET / MiB:.0f} MiB, cost cap = 1 extra forward pass")
+    print(format_max_batch(results))
+
+    by_model = {}
+    for r in results:
+        by_model.setdefault(r.model, {})[r.strategy] = r.max_batch_size
+    for model, per_strategy in by_model.items():
+        baseline = per_strategy["checkpoint_all"]
+        checkmate = per_strategy["checkmate_approx"]
+        best_heuristic = max(per_strategy["ap_sqrt_n"], per_strategy["linearized_greedy"])
+        assert baseline >= 1, model
+        # Paper shape: rematerialization grows the feasible batch size well past
+        # checkpoint-all (the paper reports 2.3x - 5.1x with the exact ILP); the
+        # LP-rounding approximation used here at CI scale must stay within a few
+        # percent of the best generalized heuristic and beat checkpoint-all by
+        # a clear margin.
+        assert best_heuristic >= baseline, model
+        assert checkmate >= 0.85 * best_heuristic, model
+        assert checkmate >= 1.2 * baseline, model

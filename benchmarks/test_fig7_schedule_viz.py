@@ -1,0 +1,29 @@
+"""Figure 7: R-matrix schedule visualizations for VGG19."""
+
+from conftest import run_once
+
+from repro.cost_model import FlopCostModel
+from repro.experiments import build_training_graph, schedule_visualization
+from repro.experiments.budget_sweep import budget_grid
+
+
+def test_fig7_schedule_visualization(benchmark):
+    graph = build_training_graph("vgg19", cost_model=FlopCostModel(),
+                                 batch_size=8, resolution=64)
+    budget = budget_grid(graph, num_budgets=3, low_fraction=0.6)[1]
+
+    viz = run_once(benchmark, schedule_visualization, graph, budget,
+                   strategies=("checkpoint_all", "linearized_greedy", "checkmate_ilp"),
+                   ilp_time_limit_s=90, max_width=60)
+
+    print(f"\n[Figure 7] {graph.name} at budget {budget / 2**20:.0f} MiB")
+    print(viz.side_by_side())
+
+    assert "checkmate_ilp" in viz.renders
+    # The ILP schedule recomputes more than checkpoint-all (its denser lower
+    # triangle in the paper's figure) because it trades compute for memory.
+    assert viz.recompute_counts["checkmate_ilp"] >= viz.recompute_counts["checkpoint_all"]
+    # Every render has one row per stage.
+    for render in viz.renders.values():
+        if render != "(infeasible)":
+            assert len(render.split("\n")) == graph.size

@@ -1,0 +1,21 @@
+"""Table 1: qualitative capability matrix of rematerialization strategies."""
+
+from conftest import run_once
+
+from repro.baselines import STRATEGIES
+from repro.experiments import format_strategy_matrix, strategy_matrix_rows
+
+
+def test_table1_strategy_matrix(benchmark):
+    rows = run_once(benchmark, strategy_matrix_rows)
+    print("\n[Table 1]")
+    print(format_strategy_matrix())
+
+    assert len(rows) == len(STRATEGIES) == 10
+    # Only the Checkmate ILP and its LP-rounding approximation are general,
+    # cost aware and memory aware simultaneously -- the paper's Table 1 claim.
+    fully = [r[0] for r in rows if r[2] == "yes" and r[3] == "yes" and r[4] == "yes"]
+    assert sorted(fully) == ["checkmate_approx", "checkmate_ilp"]
+    # Prior heuristics are never cost aware.
+    for key in ("chen_sqrt_n", "chen_greedy", "griewank_logn", "ap_sqrt_n", "linearized_greedy"):
+        assert STRATEGIES[key].cost_aware is False

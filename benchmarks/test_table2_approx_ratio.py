@@ -1,0 +1,35 @@
+"""Table 2: approximation ratios of heuristics and LP rounding vs the optimal ILP."""
+
+from conftest import run_once
+
+from repro.experiments import approximation_ratio_table, format_ratio_table
+
+STRATEGIES = ("ap_sqrt_n", "ap_greedy", "griewank_logn", "checkmate_approx")
+
+
+def test_table2_approximation_ratios(benchmark, vgg16_flop_graph, mobilenet_flop_graph,
+                                     unet_flop_graph):
+    graphs = {
+        "MobileNet": mobilenet_flop_graph,
+        "VGG16": vgg16_flop_graph,
+        "U-Net": unet_flop_graph,
+    }
+    rows = run_once(benchmark, approximation_ratio_table, graphs,
+                    strategies=STRATEGIES, num_budgets=3, ilp_time_limit_s=90)
+
+    print("\n[Table 2] geometric-mean cost ratio vs optimal ILP (feasible budgets)")
+    print(format_ratio_table(rows, STRATEGIES))
+
+    for row in rows:
+        assert row.budgets_evaluated >= 1, row.model
+        # Every ratio is >= 1 by optimality of the ILP.
+        for strategy, ratio in row.ratios.items():
+            assert ratio >= 1.0 - 1e-6, (row.model, strategy)
+        # Paper shape: two-phase LP rounding is the closest to optimal
+        # (1.00x-1.06x); the unit-cost heuristics trail it.
+        approx = row.ratios.get("checkmate_approx")
+        assert approx is not None, row.model
+        assert approx < 1.25, (row.model, approx)
+        for heuristic in ("ap_sqrt_n", "griewank_logn"):
+            if heuristic in row.ratios:
+                assert approx <= row.ratios[heuristic] + 1e-6, (row.model, heuristic)

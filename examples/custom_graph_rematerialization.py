@@ -1,0 +1,51 @@
+"""Rematerializing a custom data-flow graph and verifying numerical equivalence.
+
+Checkmate is not tied to the bundled architecture zoo: any DAG of operations
+with per-node costs and memory can be scheduled.  This example builds a small
+NumPy computation graph with skip connections, solves for a memory-constrained
+schedule, *executes* both the checkpoint-all and the rematerialized plans over
+real tensors, and shows they produce identical results while the rematerialized
+plan holds fewer bytes live.
+
+Run:  python examples/custom_graph_rematerialization.py
+"""
+
+import numpy as np
+
+from repro.core import checkpoint_all_schedule, generate_execution_plan
+from repro.execution import execute_checkpoint_all, execute_plan, make_numeric_dag
+from repro.solvers import solve_ilp_rematerialization
+from repro.utils import format_bytes
+
+
+def main() -> None:
+    numeric = make_numeric_dag(num_nodes=14, width=64, skip_prob=0.4, seed=7)
+    graph = numeric.graph
+    print(graph.summary())
+
+    # Reference execution: compute every node once, keep everything live.
+    reference = execute_checkpoint_all(numeric)
+    print(f"checkpoint-all execution: {reference.num_compute} computes, "
+          f"peak {format_bytes(reference.peak_live_bytes)}")
+
+    # Ask for a schedule using roughly half the activation memory.
+    budget = int(graph.constant_overhead + 0.55 * graph.total_activation_memory())
+    result = solve_ilp_rematerialization(graph, budget, time_limit_s=60)
+    if not result.feasible:
+        raise SystemExit("budget too tight for this graph")
+
+    rematerialized = execute_plan(numeric, result.plan)
+    print(f"rematerialized execution: {rematerialized.num_compute} computes, "
+          f"peak {format_bytes(rematerialized.peak_live_bytes)} "
+          f"(schedule overhead {result.overhead:.2f}x)")
+
+    # The whole point: identical numerics, smaller live set.
+    out = graph.terminal_node
+    np.testing.assert_allclose(rematerialized.outputs[out], reference.outputs[out])
+    assert rematerialized.peak_live_bytes <= reference.peak_live_bytes
+    print("outputs are numerically identical; memory high-water mark reduced by "
+          f"{format_bytes(reference.peak_live_bytes - rematerialized.peak_live_bytes)}")
+
+
+if __name__ == "__main__":
+    main()

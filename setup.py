@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works on minimal offline environments that lack
+the ``wheel`` package required by PEP 517 editable builds (legacy
+``setup.py develop`` installs need no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro: a from-scratch reproduction of Checkmate (MLSys 2020).
+
+Checkmate formulates tensor rematerialization -- trading recomputation for
+activation memory during neural-network training -- as a mixed-integer linear
+program, and shows that optimal schedules beat prior checkpointing heuristics
+across architectures and budgets while enabling much larger batch sizes.
+
+The public API mirrors the system's pipeline:
+
+1. build a forward graph (:mod:`repro.models`), differentiate it
+   (:func:`repro.autodiff.make_training_graph`) and attach costs
+   (:mod:`repro.cost_model`);
+2. solve for a schedule with the optimal MILP
+   (:func:`repro.solvers.solve_ilp_rematerialization`), the LP-rounding
+   approximation (:func:`repro.solvers.solve_approx_lp_rounding`) or one of
+   the baseline heuristics (:mod:`repro.baselines`);
+3. lower the schedule to an execution plan, simulate its memory profile
+   (:mod:`repro.core`) or execute it over NumPy tensors
+   (:mod:`repro.execution`);
+4. regenerate the paper's tables and figures (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import (make_training_graph, FlopCostModel,
+...                    solve_ilp_rematerialization)
+>>> from repro.models import vgg16
+>>> graph = FlopCostModel().apply(make_training_graph(vgg16(batch_size=4, resolution=64)))
+>>> result = solve_ilp_rematerialization(graph, budget=0.5 * graph.total_activation_memory()
+...                                      + graph.constant_overhead, time_limit_s=60)
+>>> result.feasible
+True
+"""
+
+from .autodiff import BackwardConfig, make_training_graph
+from .baselines import STRATEGIES, get_strategy, solve_checkpoint_all
+from .core import (
+    DFGraph,
+    ExecutionPlan,
+    NodeInfo,
+    ScheduleMatrices,
+    ScheduledResult,
+    checkpoint_all_schedule,
+    generate_execution_plan,
+    schedule_peak_memory,
+    simulate_plan,
+    validate_correctness_constraints,
+)
+from .cost_model import (
+    CPU_DEVICE,
+    NVIDIA_V100,
+    DeviceSpec,
+    FlopCostModel,
+    ProfileCostModel,
+    UniformCostModel,
+    memory_breakdown,
+)
+from .solvers import (
+    MILPFormulation,
+    solve_approx_lp_rounding,
+    solve_ilp_rematerialization,
+    solve_lp_relaxation,
+    solve_min_r,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BackwardConfig",
+    "make_training_graph",
+    "STRATEGIES",
+    "get_strategy",
+    "solve_checkpoint_all",
+    "DFGraph",
+    "ExecutionPlan",
+    "NodeInfo",
+    "ScheduleMatrices",
+    "ScheduledResult",
+    "checkpoint_all_schedule",
+    "generate_execution_plan",
+    "schedule_peak_memory",
+    "simulate_plan",
+    "validate_correctness_constraints",
+    "CPU_DEVICE",
+    "NVIDIA_V100",
+    "DeviceSpec",
+    "FlopCostModel",
+    "ProfileCostModel",
+    "UniformCostModel",
+    "memory_breakdown",
+    "MILPFormulation",
+    "solve_approx_lp_rounding",
+    "solve_ilp_rematerialization",
+    "solve_lp_relaxation",
+    "solve_min_r",
+]

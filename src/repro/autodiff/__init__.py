@@ -1,0 +1,11 @@
+"""Reverse-mode automatic differentiation at the graph level.
+
+Checkmate operates on the *training* graph: forward operations plus the
+gradient operations produced by reverse-mode AD.  In the original system this
+graph is extracted from TensorFlow; here :func:`make_training_graph` constructs
+it directly from a forward :class:`~repro.core.dfgraph.DFGraph`.
+"""
+
+from .backward import BackwardConfig, make_training_graph
+
+__all__ = ["BackwardConfig", "make_training_graph"]

@@ -1,0 +1,149 @@
+"""Construction of the training (forward + backward) data-flow graph.
+
+Reverse-mode differentiation adds, for every forward node ``v_i``, a gradient
+node ``g_i`` holding the gradient of the loss with respect to ``v_i``'s
+output.  Following the chain rule,
+
+.. math::
+
+    \\frac{\\partial L}{\\partial x_i}
+        = \\sum_{j \\in \\mathrm{USERS}(i)}
+          \\Big(\\frac{\\partial y_j}{\\partial x_i}\\Big)^{\\!\\top}
+          \\frac{\\partial L}{\\partial y_j},
+
+so ``g_i`` depends on the incoming gradients ``g_j`` of every forward consumer
+``j`` and on the *saved activations* that consumer needs to evaluate its local
+Jacobian (the consumer's forward inputs, optionally its output).  Those saved
+activations are precisely the tensors a rematerialization system decides to
+keep or recompute -- this construction is what couples the backward pass to
+the forward pass and makes checkpointing non-trivial.
+
+The backward graph produced here matches the structure Checkmate extracts from
+TensorFlow: for a linear chain ``f1 -> f2 -> ... -> fL -> loss`` it yields the
+familiar ladder in which ``g_i`` consumes ``g_{i+1}`` and the stored activation
+``f_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..core.dfgraph import DFGraph, NodeInfo
+
+__all__ = ["BackwardConfig", "make_training_graph"]
+
+
+@dataclass(frozen=True)
+class BackwardConfig:
+    """Knobs controlling the synthesized backward graph.
+
+    Attributes
+    ----------
+    backward_cost_factor:
+        Ratio of a layer's backward cost to its forward cost.  The conventional
+        estimate for convolutional and dense layers is ~2x (one pass for the
+        input gradient, one for the weight gradient).
+    grad_needs_consumer_output:
+        If ``True``, ``g_i`` additionally depends on the forward *outputs* of
+        ``i``'s consumers (required by ops like ReLU or max-pool whose backward
+        uses their own output / argmax mask).  This makes the backward pass
+        depend on strictly more activations; the default mirrors the common
+        saved-tensor behaviour of real frameworks.
+    loss_scale_memory:
+        Bytes for each gradient node are taken equal to the corresponding
+        forward activation size (gradients have the same shape as activations).
+    """
+
+    backward_cost_factor: float = 2.0
+    grad_needs_consumer_output: bool = True
+
+
+def make_training_graph(forward: DFGraph, config: BackwardConfig | None = None) -> DFGraph:
+    """Append reverse-mode gradient nodes to a forward graph.
+
+    The terminal forward node (by convention the loss) seeds backpropagation.
+    Gradient nodes are appended in reverse topological order of their forward
+    counterparts, which keeps the combined node numbering a valid topological
+    order (paper §4.1 requires one).
+
+    Parameters
+    ----------
+    forward:
+        Forward-pass graph produced by :mod:`repro.models`.
+    config:
+        Backward-pass construction options.
+
+    Returns
+    -------
+    A new :class:`DFGraph` with ``2 n_fwd`` nodes: the original forward nodes
+    ``0 .. n_fwd-1`` followed by gradient nodes for forward node
+    ``n_fwd-1, n_fwd-2, ..., 0``.  ``graph.meta["grad_index"]`` maps each
+    forward node id to its gradient node id.
+    """
+    cfg = config or BackwardConfig()
+    n_fwd = forward.size
+    loss_node = forward.terminal_node
+
+    nodes: List[NodeInfo] = list(forward.nodes)
+    deps: Dict[int, List[int]] = {i: list(forward.predecessors(i)) for i in range(n_fwd)}
+
+    # Gradient node ids: forward node i -> n_fwd + (n_fwd - 1 - i).
+    def grad_id(i: int) -> int:
+        return n_fwd + (n_fwd - 1 - i)
+
+    grad_index: Dict[int, int] = {}
+    for i in range(n_fwd - 1, -1, -1):
+        gid = grad_id(i)
+        fwd_node = forward.nodes[i]
+        users = forward.successors(i)
+
+        grad_deps: Set[int] = set()
+        bwd_cost = 0.0
+        if i == loss_node:
+            # Seed of backpropagation: dL/dL = 1; computing it only needs the
+            # forward loss value.  Give it the loss node's (tiny) cost & memory.
+            grad_deps.add(i)
+            bwd_cost = cfg.backward_cost_factor * fwd_node.cost
+        else:
+            for j in users:
+                grad_deps.add(grad_id(j))
+                # Saved activations consumed by user j's backward op: j's inputs
+                # (which include i itself) and optionally j's own output.
+                grad_deps.update(forward.predecessors(j))
+                if cfg.grad_needs_consumer_output:
+                    grad_deps.add(j)
+                # Split user j's backward cost evenly across its inputs so that
+                # the total backward cost is backward_cost_factor * forward cost.
+                fan_in = max(1, len(forward.predecessors(j)))
+                bwd_cost += cfg.backward_cost_factor * forward.cost(j) / fan_in
+            if not users:
+                # A forward node with no consumers other than being an output;
+                # its gradient comes straight from the loss gradient.
+                grad_deps.add(grad_id(loss_node))
+                grad_deps.add(i)
+                bwd_cost = cfg.backward_cost_factor * fwd_node.cost
+
+        nodes.append(
+            NodeInfo(
+                name=f"grad_{fwd_node.name}",
+                cost=float(bwd_cost),
+                memory=int(fwd_node.memory),
+                is_backward=True,
+                layer_id=fwd_node.layer_id,
+            )
+        )
+        deps[gid] = sorted(grad_deps)
+        grad_index[i] = gid
+
+    meta = dict(forward.meta)
+    meta["grad_index"] = grad_index
+    meta["n_forward"] = n_fwd
+    return DFGraph(
+        nodes=nodes,
+        deps=deps,
+        input_memory=forward.input_memory,
+        parameter_memory=forward.parameter_memory,
+        name=f"{forward.name}-train",
+        meta=meta,
+    )

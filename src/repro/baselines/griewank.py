@@ -1,0 +1,196 @@
+"""Griewank & Walther (2000) logarithmic checkpointing (REVOLVE-style).
+
+REVOLVE targets linear, unit-cost chains: with ``s`` checkpoint slots it
+backpropagates an ``n``-step chain using ``O(log n)`` memory at the price of
+recomputing forward steps multiple times (each step is recomputed at most
+``t`` times where ``binom(s + t, s) >= n``).  The paper uses it as the
+``Griewank & Walther log n`` baseline on the linear architectures (VGG16,
+MobileNet); it is neither cost- nor memory-aware, which is why its Table-2
+approximation ratio is the worst of all baselines (7.07x on MobileNet).
+
+Implementation: a recursive binomial schedule in the spirit of Griewank's
+``treeverse``/``revolve`` procedure.  For a segment ``(a, b]`` with ``s``
+spare slots, the schedule advances from the stored state at ``a`` by the
+binomial split, snapshots that position, recursively reverses the upper part,
+releases the snapshot and recurses on the lower part.  We translate the
+resulting *storage timeline* into the paper's ``S`` matrix and let the
+minimal-recomputation completion (:func:`repro.solvers.min_r.solve_min_r`)
+re-derive the forward recomputations -- which reproduces exactly the repeated
+forward sweeps REVOLVE performs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult
+from ..core.simulator import schedule_peak_memory
+from ..solvers.common import build_scheduled_result
+from ..solvers.min_r import solve_min_r
+from ..utils.timer import Timer
+from .segmenting import training_graph_metadata
+
+__all__ = ["revolve_storage_timeline", "solve_griewank_logn", "is_linear_forward_graph"]
+
+
+def is_linear_forward_graph(graph: DFGraph) -> bool:
+    """``True`` when the forward part of a training graph is a simple chain."""
+    n_forward, _ = training_graph_metadata(graph)
+    for j in range(1, n_forward):
+        fwd_parents = [p for p in graph.predecessors(j) if p < n_forward]
+        if fwd_parents != [j - 1]:
+            return False
+    return True
+
+
+def _binomial_split(length: int, slots: int) -> int:
+    """Advance distance from the left end of a segment (Griewank's binomial rule)."""
+    if slots <= 0:
+        return 1
+    # smallest t such that C(slots + t, slots) >= length
+    t = 1
+    while math.comb(slots + t, slots) < length:
+        t += 1
+    advance = math.comb(slots + t - 1, slots)
+    return max(1, min(length - 1, advance))
+
+
+def revolve_storage_timeline(
+    n_steps: int,
+    slots: int,
+) -> Tuple[List[int], Dict[int, List[Tuple[int, int]]]]:
+    """Simulate the recursive binomial schedule for an ``n_steps`` chain.
+
+    Returns
+    -------
+    backward_order:
+        The forward-step indices in the order their backward steps execute
+        (always ``n_steps-1 .. 0`` for a chain).
+    storage_intervals:
+        For each stored forward step, a list of ``(first_bwd_pos, last_bwd_pos)``
+        intervals (positions into ``backward_order``) during which the snapshot
+        is held.
+    """
+    backward_order: List[int] = []
+    storage_intervals: Dict[int, List[Tuple[int, int]]] = {}
+    open_snapshots: Dict[int, int] = {}
+
+    def take_snapshot(pos: int) -> None:
+        open_snapshots[pos] = len(backward_order)
+
+    def release_snapshot(pos: int) -> None:
+        start = open_snapshots.pop(pos)
+        storage_intervals.setdefault(pos, []).append((start, len(backward_order) - 1))
+
+    def reverse(a: int, b: int, slots_free: int) -> None:
+        """Backpropagate forward steps ``b-1 .. a`` assuming step ``a-1``'s output is available."""
+        length = b - a
+        if length <= 0:
+            return
+        if length == 1:
+            backward_order.append(a)
+            return
+        if slots_free <= 0:
+            # Out of snapshots: re-advance from the segment base for every step.
+            for i in range(b - 1, a - 1, -1):
+                backward_order.append(i)
+            return
+        split = a + _binomial_split(length, slots_free)
+        take_snapshot(split - 1)          # store the activation produced by step split-1
+        reverse(split, b, slots_free - 1)  # reverse the upper part with one fewer slot
+        release_snapshot(split - 1)
+        reverse(a, split, slots_free)      # reuse the freed slot for the lower part
+
+    reverse(0, n_steps, slots)
+    # Close any snapshots still open (defensive; reverse() releases all of them).
+    for pos in list(open_snapshots):
+        release_snapshot(pos)
+    return backward_order, storage_intervals
+
+
+def solve_griewank_logn(
+    graph: DFGraph,
+    budget: Optional[float] = None,
+    *,
+    slots: Optional[int] = None,
+    strategy_name: str = "griewank-logn",
+) -> ScheduledResult:
+    """Apply REVOLVE-style logarithmic checkpointing to a linear training graph.
+
+    Parameters
+    ----------
+    slots:
+        Number of snapshot slots available to the schedule; defaults to
+        ``ceil(log2(n_forward)) + 1``, the logarithmic regime the baseline is
+        named after.
+    budget:
+        Only used to report whether the resulting schedule fits.
+
+    Raises
+    ------
+    ValueError
+        If the forward graph is not a linear chain -- like the original
+        REVOLVE, this baseline is only defined for path graphs (the paper
+        applies it to VGG and MobileNet only).
+    """
+    n_forward, grad_index = training_graph_metadata(graph)
+    if not is_linear_forward_graph(graph):
+        raise ValueError(
+            "Griewank & Walther's REVOLVE applies only to linear forward graphs; "
+            "use the AP or linearized generalizations for non-linear architectures"
+        )
+    if slots is None:
+        slots = max(1, int(math.ceil(math.log2(max(2, n_forward)))) + 1)
+
+    with Timer() as timer:
+        backward_order, storage = revolve_storage_timeline(n_forward, slots)
+        # Map "position in the backward order" to the schedule stage of that
+        # backward step.  For a chain, backward step of forward node i runs in
+        # stage grad_index[i].
+        stage_of_pos = [grad_index[i] for i in backward_order]
+
+        n = graph.size
+        S = np.zeros((n, n), dtype=np.uint8)
+
+        # Snapshot storage intervals -> checkpoint residency.
+        for node, intervals in storage.items():
+            for (p0, p1) in intervals:
+                if p0 >= len(stage_of_pos):
+                    continue
+                start_stage = min(stage_of_pos[p0], n - 1)
+                end_stage = stage_of_pos[min(p1, len(stage_of_pos) - 1)]
+                lo, hi = min(start_stage, end_stage), max(start_stage, end_stage)
+                # Residency must also begin no earlier than the stage after the
+                # node itself is first computable.
+                lo = max(lo, node + 1)
+                S[lo:hi + 1, node] = 1
+
+        # Forward-sweep liveness: each activation is kept until its next forward
+        # consumer has run (standard single-sweep behaviour).
+        for i in range(n_forward - 1):
+            S[i + 1:i + 2, i] = 1
+        # The loss activation feeds the first backward stage.
+        S[n_forward - 1 + 1:grad_index[n_forward - 1] + 1, n_forward - 1] = 1
+
+        # Gradient liveness: keep each gradient until its last consumer.
+        for b in range(n_forward, n):
+            users = graph.successors(b)
+            if users:
+                S[b + 1:max(users) + 1, b] = 1
+        # Activations needed directly by each backward stage (f_i and f_{i+1} for
+        # g_i) are either checkpointed above or recomputed by the min-R
+        # completion, replicating REVOLVE's repeated forward sweeps.
+        matrices = solve_min_r(graph, S)
+        peak = schedule_peak_memory(graph, matrices)
+
+    feasible = budget is None or peak <= budget
+    return build_scheduled_result(
+        strategy_name, graph, matrices, budget=int(budget) if budget else None,
+        feasible=feasible, solve_time_s=timer.elapsed,
+        solver_status="ok" if feasible else "over-budget",
+        extra={"slots": slots, "num_snapshots": len(storage)},
+    )

@@ -1,0 +1,171 @@
+"""Unified strategy registry: Table 1 of the paper as executable objects.
+
+Each strategy is described by a :class:`StrategyInfo` carrying the qualitative
+capability flags from Table 1 (general graphs / cost aware / memory aware) and
+a ``solve`` callable with the uniform signature ``solve(graph, budget=None,
+**kwargs) -> ScheduledResult``.  The evaluation harness iterates over this
+registry to produce the Figure 5 trade-off curves, the Figure 6 batch-size
+study and the Table 2 approximation ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult, checkpoint_all_schedule
+from ..core.simulator import schedule_peak_memory
+from ..solvers.approximation import solve_approx_lp_rounding
+from ..solvers.common import build_scheduled_result
+from ..solvers.ilp import solve_ilp_rematerialization
+from ..utils.timer import Timer
+from .chen import ap_candidates, solve_chen_greedy, solve_chen_sqrt_n
+from .griewank import solve_griewank_logn
+from .segmenting import forward_candidates, training_graph_metadata
+
+__all__ = ["StrategyInfo", "STRATEGIES", "get_strategy", "solve_checkpoint_all"]
+
+#: Tri-state capability value used in Table 1 ("~" means partially).
+PARTIAL = "~"
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Description and driver of one rematerialization strategy.
+
+    ``general_graphs``, ``cost_aware`` and ``memory_aware`` mirror the columns
+    of Table 1 (values ``True``, ``False`` or ``"~"`` for partial support).
+    """
+
+    key: str
+    description: str
+    general_graphs: object
+    cost_aware: object
+    memory_aware: object
+    solve: Callable[..., ScheduledResult]
+    linear_only: bool = False
+    has_budget_knob: bool = True
+
+
+def solve_checkpoint_all(graph: DFGraph, budget: Optional[float] = None,
+                         **_: object) -> ScheduledResult:
+    """The framework default: store every activation, compute each node once.
+
+    Frameworks such as TensorFlow free each activation once its gradient has
+    been computed, so for training graphs the policy is expressed as "every
+    forward value is checkpointed until its last consumer" -- no recomputation
+    ever happens, but values do not linger past the backward step that needs
+    them.  For graphs without training metadata the simpler retain-everything
+    schedule is used.
+    """
+    from .segmenting import segment_checkpoint_schedule
+
+    with Timer() as timer:
+        if "grad_index" in graph.meta:
+            n_forward = int(graph.meta["n_forward"])
+            matrices = segment_checkpoint_schedule(
+                graph, checkpoints=range(n_forward - 1), keep_checkpoints_until_end=False
+            )
+        else:
+            matrices = checkpoint_all_schedule(graph)
+        peak = schedule_peak_memory(graph, matrices)
+    feasible = budget is None or peak <= budget
+    return build_scheduled_result(
+        "checkpoint-all", graph, matrices, budget=int(budget) if budget else None,
+        feasible=feasible, solve_time_s=timer.elapsed,
+        solver_status="ok" if feasible else "over-budget",
+    )
+
+
+def _solve_ap_sqrt_n(graph: DFGraph, budget: Optional[float] = None, **kw) -> ScheduledResult:
+    return solve_chen_sqrt_n(graph, budget, candidates=ap_candidates(graph),
+                             strategy_name="ap-sqrt(n)", **kw)
+
+
+def _solve_ap_greedy(graph: DFGraph, budget: Optional[float] = None, **kw) -> ScheduledResult:
+    return solve_chen_greedy(graph, budget, candidates=ap_candidates(graph),
+                             strategy_name="ap-greedy", **kw)
+
+
+def _solve_linearized_sqrt_n(graph: DFGraph, budget: Optional[float] = None, **kw) -> ScheduledResult:
+    return solve_chen_sqrt_n(graph, budget, candidates=forward_candidates(graph),
+                             strategy_name="linearized-sqrt(n)", **kw)
+
+
+def _solve_linearized_greedy(graph: DFGraph, budget: Optional[float] = None, **kw) -> ScheduledResult:
+    return solve_chen_greedy(graph, budget, candidates=forward_candidates(graph),
+                             strategy_name="linearized-greedy", **kw)
+
+
+#: Table 1 of the paper, as a registry.  Keys are stable identifiers used by the
+#: experiment harness and the benchmarks.
+STRATEGIES: Dict[str, StrategyInfo] = {
+    "checkpoint_all": StrategyInfo(
+        key="checkpoint_all",
+        description="No rematerialization; default in deep learning frameworks.",
+        general_graphs=True, cost_aware=False, memory_aware=False,
+        solve=solve_checkpoint_all, has_budget_knob=False,
+    ),
+    "griewank_logn": StrategyInfo(
+        key="griewank_logn",
+        description="Griewank & Walther (2000) REVOLVE procedure.",
+        general_graphs=False, cost_aware=False, memory_aware=False,
+        solve=solve_griewank_logn, linear_only=True, has_budget_knob=False,
+    ),
+    "chen_sqrt_n": StrategyInfo(
+        key="chen_sqrt_n",
+        description="Chen et al. (2016) sqrt(n) checkpointing heuristic.",
+        general_graphs=False, cost_aware=False, memory_aware=False,
+        solve=solve_chen_sqrt_n, linear_only=True, has_budget_knob=False,
+    ),
+    "chen_greedy": StrategyInfo(
+        key="chen_greedy",
+        description="Chen et al. (2016) greedy heuristic with search over parameter b.",
+        general_graphs=False, cost_aware=False, memory_aware=PARTIAL,
+        solve=solve_chen_greedy, linear_only=True,
+    ),
+    "ap_sqrt_n": StrategyInfo(
+        key="ap_sqrt_n",
+        description="Chen sqrt(n) on articulation points + optimal R solve.",
+        general_graphs=PARTIAL, cost_aware=False, memory_aware=False,
+        solve=_solve_ap_sqrt_n, has_budget_knob=False,
+    ),
+    "ap_greedy": StrategyInfo(
+        key="ap_greedy",
+        description="Chen greedy on articulation points + optimal R solve.",
+        general_graphs=PARTIAL, cost_aware=False, memory_aware=PARTIAL,
+        solve=_solve_ap_greedy,
+    ),
+    "linearized_sqrt_n": StrategyInfo(
+        key="linearized_sqrt_n",
+        description="Chen sqrt(n) on the topological sort + optimal R solve.",
+        general_graphs=True, cost_aware=False, memory_aware=False,
+        solve=_solve_linearized_sqrt_n, has_budget_knob=False,
+    ),
+    "linearized_greedy": StrategyInfo(
+        key="linearized_greedy",
+        description="Chen greedy on the topological sort + optimal R solve.",
+        general_graphs=True, cost_aware=False, memory_aware=PARTIAL,
+        solve=_solve_linearized_greedy,
+    ),
+    "checkmate_ilp": StrategyInfo(
+        key="checkmate_ilp",
+        description="Checkmate optimal MILP (Section 4).",
+        general_graphs=True, cost_aware=True, memory_aware=True,
+        solve=solve_ilp_rematerialization,
+    ),
+    "checkmate_approx": StrategyInfo(
+        key="checkmate_approx",
+        description="Checkmate two-phase LP rounding approximation (Section 5).",
+        general_graphs=True, cost_aware=True, memory_aware=True,
+        solve=solve_approx_lp_rounding,
+    ),
+}
+
+
+def get_strategy(key: str) -> StrategyInfo:
+    """Look up a strategy by registry key (raises ``KeyError`` with suggestions)."""
+    if key not in STRATEGIES:
+        raise KeyError(f"unknown strategy {key!r}; available: {', '.join(sorted(STRATEGIES))}")
+    return STRATEGIES[key]

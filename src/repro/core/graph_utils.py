@@ -1,0 +1,244 @@
+"""Structural graph algorithms shared by the solvers and baselines.
+
+These utilities operate on :class:`repro.core.dfgraph.DFGraph` instances and
+provide the pieces of graph machinery the paper relies on:
+
+* articulation-point discovery for the ``AP sqrt(n)`` / ``AP greedy``
+  baseline generalizations (paper Appendix B.1),
+* linearization of a DAG into a path graph for the ``Linearized`` baselines
+  (Appendix B.2),
+* ancestor/descendant closures used when backing out the minimal
+  recomputation set from a fixed checkpoint selection, and
+* random-DAG generation used by the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .dfgraph import DFGraph, NodeInfo
+
+__all__ = [
+    "articulation_points",
+    "ancestors",
+    "descendants",
+    "transitive_closure",
+    "linearized_chain_edges",
+    "is_topological_order",
+    "random_layered_dag",
+    "linear_graph",
+]
+
+
+def is_topological_order(graph: DFGraph) -> bool:
+    """Check that node numbering respects every edge (always true by construction)."""
+    return all(i < j for i, j in graph.edges())
+
+
+def ancestors(graph: DFGraph, node: int) -> Set[int]:
+    """All transitive predecessors of ``node`` (excluding the node itself)."""
+    seen: Set[int] = set()
+    stack = list(graph.predecessors(node))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(graph.predecessors(cur))
+    return seen
+
+
+def descendants(graph: DFGraph, node: int) -> Set[int]:
+    """All transitive successors of ``node`` (excluding the node itself)."""
+    seen: Set[int] = set()
+    stack = list(graph.successors(node))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(graph.successors(cur))
+    return seen
+
+
+def transitive_closure(graph: DFGraph) -> Dict[int, FrozenSet[int]]:
+    """Map each node to the frozen set of its ancestors.
+
+    Computed in a single pass over the topological order, so the overall cost
+    is ``O(n * n / wordsize)`` using Python sets; adequate for the graph sizes
+    Checkmate deals with (hundreds of nodes).
+    """
+    closure: Dict[int, FrozenSet[int]] = {}
+    for j in range(graph.size):
+        acc: Set[int] = set()
+        for i in graph.predecessors(j):
+            acc.add(i)
+            acc |= closure[i]
+        closure[j] = frozenset(acc)
+    return closure
+
+
+def articulation_points(graph: DFGraph, restrict_to: Sequence[int] | None = None) -> List[int]:
+    """Articulation points of the *undirected* form of the graph.
+
+    Articulation points (cut vertices) are the checkpoint candidates used by
+    the ``AP`` baseline generalizations (paper Appendix B.1): removing such a
+    vertex disconnects the undirected forward graph, so every later value can
+    be recomputed from the articulation point alone.
+
+    Parameters
+    ----------
+    graph:
+        The data-flow graph.
+    restrict_to:
+        If given, only consider the induced subgraph on these nodes (the paper
+        applies this to the forward-pass subgraph).
+
+    Returns
+    -------
+    Sorted list of node indices (in the original graph's numbering).
+    """
+    if restrict_to is None:
+        restrict_to = list(range(graph.size))
+    keep = sorted(set(restrict_to))
+    keep_set = set(keep)
+
+    adjacency: Dict[int, List[int]] = {v: [] for v in keep}
+    for i, j in graph.edges():
+        if i in keep_set and j in keep_set:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+
+    # Iterative Tarjan-Hopcroft articulation point algorithm (avoids Python
+    # recursion limits on deep chains such as linearized VGG graphs).
+    visited: Set[int] = set()
+    disc: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+    aps: Set[int] = set()
+    timer = 0
+
+    for root in keep:
+        if root in visited:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        root_children = 0
+        order: List[int] = []
+        visited.add(root)
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            node, child_idx = stack.pop()
+            if child_idx < len(adjacency[node]):
+                stack.append((node, child_idx + 1))
+                nxt = adjacency[node][child_idx]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    parent[nxt] = node
+                    disc[nxt] = low[nxt] = timer
+                    timer += 1
+                    if node == root:
+                        root_children += 1
+                    stack.append((nxt, 0))
+                elif nxt != parent.get(node):
+                    low[node] = min(low[node], disc[nxt])
+            else:
+                order.append(node)
+                p = parent.get(node)
+                if p is not None:
+                    low[p] = min(low[p], low[node])
+                    if p != root and low[node] >= disc[p]:
+                        aps.add(p)
+        if root_children > 1:
+            aps.add(root)
+    return sorted(aps)
+
+
+def linearized_chain_edges(graph: DFGraph) -> List[Tuple[int, int]]:
+    """Edges of the path graph over the topological order (Appendix B.2).
+
+    The resulting chain ``v_0 -> v_1 -> ... -> v_{n-1}`` ignores the true data
+    dependencies; it is only used to feed linear-graph heuristics.  The
+    minimal-recomputation completion afterwards restores correctness against
+    the *true* dependencies.
+    """
+    return [(i, i + 1) for i in range(graph.size - 1)]
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic graph generators (used by tests, examples and micro-benchmarks)
+# --------------------------------------------------------------------------- #
+def linear_graph(
+    n: int,
+    cost: float | Sequence[float] = 1.0,
+    memory: int | Sequence[int] = 1,
+    name: str = "linear",
+) -> DFGraph:
+    """Build a unit linear chain ``v_0 -> v_1 -> ... -> v_{n-1}``.
+
+    This is the idealized graph studied by Griewank & Walther (2000) and
+    Chen et al. (2016): every node has one parent and one child.  ``cost`` and
+    ``memory`` may be scalars (uniform graphs) or per-node sequences.
+    """
+    if n <= 0:
+        raise ValueError("linear graph needs at least one node")
+    costs = [float(cost)] * n if np.isscalar(cost) else [float(c) for c in cost]
+    mems = [int(memory)] * n if np.isscalar(memory) else [int(m) for m in memory]
+    if len(costs) != n or len(mems) != n:
+        raise ValueError("cost/memory sequences must have length n")
+    nodes = [NodeInfo(name=f"op{i}", cost=costs[i], memory=mems[i]) for i in range(n)]
+    deps = {i: [i - 1] for i in range(1, n)}
+    deps[0] = []
+    return DFGraph(nodes=nodes, deps=deps, name=name)
+
+
+def random_layered_dag(
+    n_layers: int,
+    width: int,
+    *,
+    skip_prob: float = 0.2,
+    seed: int = 0,
+    max_cost: float = 10.0,
+    max_memory: int = 64,
+    name: str = "random-dag",
+) -> DFGraph:
+    """Generate a random layered DAG with occasional skip connections.
+
+    The generator mimics the structure of real network graphs: nodes are
+    arranged in layers, each node depends on one node from the previous layer
+    plus (with probability ``skip_prob``) one node from an earlier layer.  The
+    result is always connected and topologically ordered, which makes it a
+    convenient workload for property-based testing of the solvers.
+    """
+    rng = np.random.default_rng(seed)
+    nodes: List[NodeInfo] = []
+    deps: Dict[int, List[int]] = {}
+    layer_members: List[List[int]] = []
+    idx = 0
+    for layer in range(n_layers):
+        members: List[int] = []
+        layer_width = 1 if layer == 0 else int(rng.integers(1, width + 1))
+        for _ in range(layer_width):
+            cost = float(rng.uniform(0.5, max_cost))
+            mem = int(rng.integers(1, max_memory + 1))
+            nodes.append(NodeInfo(name=f"l{layer}n{idx}", cost=cost, memory=mem,
+                                  layer_id=layer))
+            parents: List[int] = []
+            if layer > 0:
+                parents.append(int(rng.choice(layer_members[-1])))
+                if layer > 1 and rng.random() < skip_prob:
+                    earlier_layer = int(rng.integers(0, layer - 1))
+                    parents.append(int(rng.choice(layer_members[earlier_layer])))
+            deps[idx] = sorted(set(parents))
+            members.append(idx)
+            idx += 1
+        layer_members.append(members)
+    # Add a terminal sink node that depends on every node without a consumer so
+    # the graph has a single output, as training graphs do (the loss/grad sink).
+    consumed = {p for parents in deps.values() for p in parents}
+    dangling = [i for i in range(idx) if i not in consumed]
+    nodes.append(NodeInfo(name="sink", cost=1.0, memory=1, layer_id=n_layers))
+    deps[idx] = dangling
+    return DFGraph(nodes=nodes, deps=deps, name=name)

@@ -1,0 +1,167 @@
+"""Concrete execution plans (paper Section 4.9).
+
+A feasible solution ``(R, S, FREE)`` of the rematerialization problem is
+lowered by Algorithm 1 into a *concrete execution plan*: a linear program of
+``allocate`` / ``compute`` / ``deallocate`` statements over virtual registers.
+The plan is what an execution backend actually runs -- in the paper it is
+encoded back into a static TensorFlow graph, in this reproduction it is either
+replayed by the memory simulator (:mod:`repro.core.simulator`) or interpreted
+over NumPy tensors (:mod:`repro.execution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Union
+
+__all__ = [
+    "AllocateRegister",
+    "ComputeNode",
+    "DeallocateRegister",
+    "Statement",
+    "ExecutionPlan",
+    "PlanError",
+]
+
+
+class PlanError(ValueError):
+    """Raised when an execution plan is malformed or infeasible."""
+
+
+@dataclass(frozen=True)
+class AllocateRegister:
+    """``%r = allocate v``: reserve a virtual register for node ``node_id``'s output."""
+
+    register: int
+    node_id: int
+    size_bytes: int
+
+    def __str__(self) -> str:
+        return f"%{self.register} = allocate v{self.node_id} ({self.size_bytes} B)"
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """``compute v, %r``: evaluate operation ``node_id`` into register ``register``."""
+
+    register: int
+    node_id: int
+
+    def __str__(self) -> str:
+        return f"compute v{self.node_id} -> %{self.register}"
+
+
+@dataclass(frozen=True)
+class DeallocateRegister:
+    """``deallocate %r``: mark the register's value for garbage collection."""
+
+    register: int
+    node_id: int
+
+    def __str__(self) -> str:
+        return f"deallocate %{self.register} (v{self.node_id})"
+
+
+Statement = Union[AllocateRegister, ComputeNode, DeallocateRegister]
+
+
+@dataclass
+class ExecutionPlan:
+    """An ordered list of statements produced by Algorithm 1.
+
+    Attributes
+    ----------
+    statements:
+        The program ``P = (s_1, ..., s_k)``.
+    graph_name:
+        Name of the graph the plan was generated for (reporting only).
+    """
+
+    statements: List[Statement] = field(default_factory=list)
+    graph_name: str = "graph"
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def append(self, statement: Statement) -> None:
+        self.statements.append(statement)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate queries
+    # ------------------------------------------------------------------ #
+    def compute_counts(self) -> Dict[int, int]:
+        """Number of times each node is (re)computed by the plan."""
+        counts: Dict[int, int] = {}
+        for s in self.statements:
+            if isinstance(s, ComputeNode):
+                counts[s.node_id] = counts.get(s.node_id, 0) + 1
+        return counts
+
+    def total_computations(self) -> int:
+        """Total number of ``compute`` statements in the plan."""
+        return sum(1 for s in self.statements if isinstance(s, ComputeNode))
+
+    def num_allocations(self) -> int:
+        return sum(1 for s in self.statements if isinstance(s, AllocateRegister))
+
+    def num_deallocations(self) -> int:
+        return sum(1 for s in self.statements if isinstance(s, DeallocateRegister))
+
+    def computed_nodes(self) -> List[int]:
+        """Node ids in order of (re)computation (with repeats)."""
+        return [s.node_id for s in self.statements if isinstance(s, ComputeNode)]
+
+    def validate_structure(self) -> None:
+        """Check structural well-formedness of the plan.
+
+        * every ``compute`` targets a register allocated earlier and not yet freed,
+        * every ``deallocate`` frees a live register exactly once, and
+        * register ids are unique per allocation.
+
+        Raises :class:`PlanError` on violation.  Note this is purely syntactic;
+        data-dependency feasibility is validated by the simulator which also
+        needs the graph.
+        """
+        live: Dict[int, int] = {}
+        seen_registers = set()
+        for idx, s in enumerate(self.statements):
+            if isinstance(s, AllocateRegister):
+                if s.register in seen_registers:
+                    raise PlanError(f"statement {idx}: register %{s.register} reused")
+                seen_registers.add(s.register)
+                live[s.register] = s.node_id
+            elif isinstance(s, ComputeNode):
+                if s.register not in live:
+                    raise PlanError(
+                        f"statement {idx}: compute into unallocated register %{s.register}"
+                    )
+                if live[s.register] != s.node_id:
+                    raise PlanError(
+                        f"statement {idx}: register %{s.register} allocated for node "
+                        f"{live[s.register]} but computed with node {s.node_id}"
+                    )
+            elif isinstance(s, DeallocateRegister):
+                if s.register not in live:
+                    raise PlanError(
+                        f"statement {idx}: deallocate of dead register %{s.register}"
+                    )
+                del live[s.register]
+            else:  # pragma: no cover - defensive
+                raise PlanError(f"statement {idx}: unknown statement type {type(s)!r}")
+
+    def pretty(self, max_lines: int | None = None) -> str:
+        """Render the plan as readable text (one statement per line)."""
+        lines = [str(s) for s in self.statements]
+        if max_lines is not None and len(lines) > max_lines:
+            omitted = len(lines) - max_lines
+            lines = lines[:max_lines] + [f"... ({omitted} more statements)"]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExecutionPlan(graph={self.graph_name!r}, statements={len(self.statements)}, "
+            f"computes={self.total_computations()})"
+        )

@@ -1,0 +1,27 @@
+"""Cost models: map graph nodes to compute costs and account memory.
+
+The paper's solver is *hardware-aware* through a profile-based cost model
+(§4.10): per-layer runtimes are profiled on the target accelerator, and tensor
+memory is computed statically from shapes.  Since no GPU is available in this
+environment, :class:`ProfileCostModel` provides a deterministic analytic stand
+in (roofline-style timing for a parameterized device), while
+:class:`FlopCostModel` reproduces the statically-counted-FLOPs setting the
+paper uses for Figure 6 and Table 2.
+"""
+
+from .devices import DeviceSpec, NVIDIA_V100, NVIDIA_P100, CPU_DEVICE
+from .memory import MemoryBreakdown, memory_breakdown
+from .models import CostModel, FlopCostModel, ProfileCostModel, UniformCostModel
+
+__all__ = [
+    "DeviceSpec",
+    "NVIDIA_V100",
+    "NVIDIA_P100",
+    "CPU_DEVICE",
+    "MemoryBreakdown",
+    "memory_breakdown",
+    "CostModel",
+    "FlopCostModel",
+    "ProfileCostModel",
+    "UniformCostModel",
+]

@@ -1,0 +1,65 @@
+"""Accelerator device descriptions used by the profile-based cost model.
+
+The paper profiles layers on an NVIDIA V100 (16 GB).  We describe devices by
+the parameters a roofline-style timing model needs: peak floating point
+throughput, DRAM bandwidth, per-kernel launch overhead and memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "NVIDIA_V100", "NVIDIA_P100", "CPU_DEVICE"]
+
+GiB = 2**30
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of an accelerator.
+
+    Attributes
+    ----------
+    name: marketing name used in reports.
+    peak_flops: peak single-precision throughput in FLOP/s.
+    memory_bandwidth: DRAM bandwidth in bytes/s.
+    kernel_launch_overhead: fixed per-operation overhead in seconds.
+    memory_bytes: usable device memory (the rematerialization budget ceiling).
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    kernel_launch_overhead: float
+    memory_bytes: int
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / GiB
+
+
+#: The device used throughout the paper's evaluation (16 GB SXM2 V100).
+NVIDIA_V100 = DeviceSpec(
+    name="NVIDIA V100 16GB",
+    peak_flops=15.7e12,
+    memory_bandwidth=900e9,
+    kernel_launch_overhead=5e-6,
+    memory_bytes=16 * GiB,
+)
+
+NVIDIA_P100 = DeviceSpec(
+    name="NVIDIA P100 16GB",
+    peak_flops=9.3e12,
+    memory_bandwidth=732e9,
+    kernel_launch_overhead=5e-6,
+    memory_bytes=16 * GiB,
+)
+
+#: A deliberately small "device" for unit tests and laptop-scale examples.
+CPU_DEVICE = DeviceSpec(
+    name="CPU (reference)",
+    peak_flops=2e11,
+    memory_bandwidth=50e9,
+    kernel_launch_overhead=1e-6,
+    memory_bytes=8 * GiB,
+)

@@ -1,0 +1,65 @@
+"""Static memory accounting: the Figure-3 breakdown of training memory.
+
+The paper's Figure 3 decomposes training memory into feature (activation)
+memory, parameter memory, parameter-gradient memory and workspace memory, and
+shows features dominate.  :func:`memory_breakdown` reproduces that accounting
+from a graph produced by the model builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dfgraph import DFGraph
+
+__all__ = ["MemoryBreakdown", "memory_breakdown"]
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes used by each category when *all* activations are retained."""
+
+    model: str
+    features: int
+    parameters: int
+    parameter_gradients: int
+    workspace: int
+    inputs: int
+
+    @property
+    def total(self) -> int:
+        return (self.features + self.parameters + self.parameter_gradients
+                + self.workspace + self.inputs)
+
+    def feature_fraction(self) -> float:
+        """Fraction of total memory consumed by activations (the paper's headline point)."""
+        return self.features / self.total if self.total else 0.0
+
+    def as_row(self) -> tuple:
+        return (self.model, self.features, self.parameters, self.parameter_gradients,
+                self.workspace, self.inputs, self.total)
+
+
+def memory_breakdown(graph: DFGraph, *, workspace_fraction: float = 0.05) -> MemoryBreakdown:
+    """Compute the checkpoint-all memory breakdown of a graph.
+
+    Parameters
+    ----------
+    graph:
+        Either a forward graph or a training graph; only forward nodes count as
+        "features" (gradient tensors are transient in the checkpoint-all
+        policy, so following the paper they are folded into workspace).
+    workspace_fraction:
+        cuDNN-style scratch space modelled as a fraction of feature memory.
+    """
+    features = sum(graph.memory(i) for i in graph.forward_nodes())
+    params = graph.parameter_memory
+    workspace = int(workspace_fraction * features)
+    return MemoryBreakdown(
+        model=graph.name,
+        features=int(features),
+        parameters=int(params),
+        parameter_gradients=int(params),
+        workspace=workspace,
+        inputs=int(graph.input_memory),
+    )

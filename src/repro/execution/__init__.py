@@ -1,0 +1,22 @@
+"""NumPy execution backend: interpret execution plans over real tensors.
+
+The original Checkmate encodes execution plans back into static TensorFlow
+graphs.  This package plays that role with NumPy: each graph node is bound to
+a concrete tensor function, and :func:`execute_plan` interprets an
+``allocate`` / ``compute`` / ``deallocate`` plan over those functions.  Its
+main purpose in the reproduction is *verification* -- demonstrating that a
+rematerialized schedule computes bit-identical results to the checkpoint-all
+schedule while holding fewer tensors live.
+"""
+
+from .executor import ExecutionResult, execute_checkpoint_all, execute_plan
+from .ops import NumericGraph, make_numeric_chain, make_numeric_dag
+
+__all__ = [
+    "ExecutionResult",
+    "execute_checkpoint_all",
+    "execute_plan",
+    "NumericGraph",
+    "make_numeric_chain",
+    "make_numeric_dag",
+]

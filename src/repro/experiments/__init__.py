@@ -1,0 +1,60 @@
+"""Experiment harness: reproduces every table and figure of the paper's evaluation.
+
+Each module regenerates one artifact:
+
+==========================  =====================================================
+Module                      Paper artifact
+==========================  =====================================================
+``memory_timeline``         Figure 1 (memory over time, retain-all vs rematerialize)
+``memory_breakdown``        Figure 3 (feature vs parameter memory per architecture)
+``strategy_matrix``         Table 1 (qualitative capability comparison)
+``budget_sweep``            Figure 5 (overhead vs memory budget)
+``max_batch``               Figure 6 (maximum batch size at <= 1 extra forward pass)
+``approximation_ratio``     Table 2 (approximation ratios vs the optimal ILP)
+``schedule_viz``            Figure 7 (R-matrix schedule visualizations)
+``rounding_comparison``     Figure 8 + the Section 5.1 naive-rounding negative result
+``integrality_gap``         Appendix A (partitioned vs unpartitioned MILP)
+==========================  =====================================================
+
+The functions default to CI-scale presets (small batch sizes / resolutions and
+short solver time limits) so the whole harness runs on one CPU core; every
+entry point accepts explicit parameters to run at the paper's scale.
+"""
+
+from .approximation_ratio import ApproximationRatioRow, approximation_ratio_table, format_ratio_table
+from .budget_sweep import BudgetSweepPoint, budget_grid, budget_sweep, format_sweep
+from .integrality_gap import IntegralityGapResult, integrality_gap_experiment
+from .max_batch import MaxBatchResult, max_batch_size, max_batch_experiment
+from .memory_breakdown import memory_breakdown_table
+from .memory_timeline import MemoryTimeline, memory_timeline
+from .presets import EXPERIMENT_MODELS, build_training_graph, preset_model
+from .rounding_comparison import rounding_comparison, naive_rounding_study
+from .schedule_viz import render_schedule_ascii, schedule_visualization
+from .strategy_matrix import strategy_matrix_rows, format_strategy_matrix
+
+__all__ = [
+    "ApproximationRatioRow",
+    "approximation_ratio_table",
+    "format_ratio_table",
+    "BudgetSweepPoint",
+    "budget_grid",
+    "budget_sweep",
+    "format_sweep",
+    "IntegralityGapResult",
+    "integrality_gap_experiment",
+    "MaxBatchResult",
+    "max_batch_size",
+    "max_batch_experiment",
+    "memory_breakdown_table",
+    "MemoryTimeline",
+    "memory_timeline",
+    "EXPERIMENT_MODELS",
+    "build_training_graph",
+    "preset_model",
+    "rounding_comparison",
+    "naive_rounding_study",
+    "render_schedule_ascii",
+    "schedule_visualization",
+    "strategy_matrix_rows",
+    "format_strategy_matrix",
+]

@@ -1,0 +1,90 @@
+"""Table 2: approximation ratios of baselines and LP rounding vs the optimal ILP.
+
+For each architecture and a range of memory budgets, the ratio
+``COST_strategy / COST_ilp`` measures how far a heuristic or the two-phase
+rounding approximation is from optimal.  The paper reports the geometric mean
+of this ratio across the budgets where both are feasible; the headline result
+is that two-phase deterministic rounding stays within 1.06x of optimal on all
+tested architectures while the heuristics range from 1.06x to 7.07x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import STRATEGIES
+from ..core.dfgraph import DFGraph
+from ..utils.formatting import format_table, geomean
+from .budget_sweep import budget_grid
+
+__all__ = ["ApproximationRatioRow", "approximation_ratio_table", "format_ratio_table"]
+
+#: Columns of Table 2 (plus the optimal ILP used as the denominator).
+DEFAULT_RATIO_STRATEGIES = ("ap_sqrt_n", "ap_greedy", "griewank_logn", "checkmate_approx")
+
+
+@dataclass
+class ApproximationRatioRow:
+    """One row of Table 2: a model and its per-strategy geomean ratios."""
+
+    model: str
+    ratios: Dict[str, float]
+    budgets_evaluated: int
+
+    def as_row(self, strategies: Sequence[str]) -> tuple:
+        cells = [self.model]
+        for s in strategies:
+            value = self.ratios.get(s)
+            cells.append(f"{value:.2f}x" if value is not None else "-")
+        return tuple(cells)
+
+
+def approximation_ratio_table(
+    graphs: Dict[str, DFGraph],
+    *,
+    strategies: Sequence[str] = DEFAULT_RATIO_STRATEGIES,
+    budgets: Optional[Dict[str, Sequence[int]]] = None,
+    num_budgets: int = 4,
+    ilp_time_limit_s: float = 120.0,
+) -> List[ApproximationRatioRow]:
+    """Compute Table 2 for the given training graphs.
+
+    Parameters
+    ----------
+    graphs:
+        Mapping from display name to training graph (with costs applied).
+    budgets:
+        Optional per-model budget lists; defaults to :func:`budget_grid`.
+    """
+    rows: List[ApproximationRatioRow] = []
+    for model_name, graph in graphs.items():
+        model_budgets = list(budgets[model_name]) if budgets and model_name in budgets \
+            else budget_grid(graph, num_budgets=num_budgets, high_fraction=0.95)
+        per_strategy_ratios: Dict[str, List[float]] = {s: [] for s in strategies}
+        evaluated = 0
+        for budget in model_budgets:
+            ilp = STRATEGIES["checkmate_ilp"].solve(graph, budget,
+                                                    time_limit_s=ilp_time_limit_s)
+            if not ilp.feasible or ilp.compute_cost <= 0:
+                continue
+            evaluated += 1
+            for s in strategies:
+                info = STRATEGIES[s]
+                try:
+                    result = info.solve(graph, budget)
+                except ValueError:
+                    continue
+                if result.feasible and result.peak_memory <= budget:
+                    per_strategy_ratios[s].append(result.compute_cost / ilp.compute_cost)
+        ratios = {s: geomean(v) for s, v in per_strategy_ratios.items() if v}
+        rows.append(ApproximationRatioRow(model=model_name, ratios=ratios,
+                                          budgets_evaluated=evaluated))
+    return rows
+
+
+def format_ratio_table(rows: Sequence[ApproximationRatioRow],
+                       strategies: Sequence[str] = DEFAULT_RATIO_STRATEGIES) -> str:
+    """Text rendering of Table 2."""
+    headers = ["model"] + [STRATEGIES[s].key for s in strategies]
+    return format_table(headers, [r.as_row(strategies) for r in rows])

@@ -1,0 +1,145 @@
+"""Figure 5: computational overhead versus memory budget.
+
+For each strategy and each memory budget, solve for a schedule and report the
+compute overhead relative to the checkpoint-all ideal.  The paper plots this
+for VGG16 (batch 256), MobileNet (batch 512) and U-Net (batch 32) against the
+Chen, Griewank and generalized baselines; the takeaway is that Checkmate's
+in-budget solutions have the lowest overhead at every budget, dramatically so
+on the non-linear U-Net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import STRATEGIES, StrategyInfo
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult
+from ..utils.formatting import format_bytes, format_table
+
+__all__ = ["BudgetSweepPoint", "budget_grid", "budget_sweep", "format_sweep"]
+
+#: Strategies plotted in Figure 5 (linear architectures use the originals,
+#: non-linear ones their AP / linearized generalizations).
+DEFAULT_SWEEP_STRATEGIES = (
+    "checkpoint_all",
+    "chen_sqrt_n",
+    "chen_greedy",
+    "griewank_logn",
+    "ap_sqrt_n",
+    "ap_greedy",
+    "linearized_sqrt_n",
+    "linearized_greedy",
+    "checkmate_approx",
+    "checkmate_ilp",
+)
+
+
+@dataclass
+class BudgetSweepPoint:
+    """One (strategy, budget) point of the Figure 5 trade-off curve."""
+
+    strategy: str
+    budget: int
+    feasible: bool
+    compute_cost: float
+    overhead: float
+    peak_memory: int
+    solve_time_s: float
+
+    def as_row(self) -> tuple:
+        return (self.strategy, format_bytes(self.budget),
+                "yes" if self.feasible else "no",
+                f"{self.overhead:.3f}x" if self.feasible else "-",
+                format_bytes(self.peak_memory) if self.feasible else "-",
+                f"{self.solve_time_s:.2f}s")
+
+
+def budget_grid(graph: DFGraph, num_budgets: int = 6, *, low_fraction: float = 0.35,
+                high_fraction: float = 1.05) -> List[int]:
+    """Budgets spanning from aggressive rematerialization to checkpoint-all.
+
+    The grid is anchored on the checkpoint-all peak memory: the top end sits
+    just above it (where no rematerialization is needed) and the bottom end at
+    ``low_fraction`` of it.  The constant input/parameter overhead is always
+    respected, since no schedule can run below it.
+    """
+    from ..core.schedule import checkpoint_all_schedule
+    from ..core.simulator import schedule_peak_memory
+
+    peak_all = schedule_peak_memory(graph, checkpoint_all_schedule(graph))
+    floor = graph.constant_overhead + max(graph.memory_vector.max(), 1) * 3
+    low = max(int(peak_all * low_fraction), int(floor))
+    high = max(int(peak_all * high_fraction), low + 1)
+    return [int(b) for b in np.linspace(low, high, num=num_budgets)]
+
+
+def _solve_one(info: StrategyInfo, graph: DFGraph, budget: int,
+               ilp_time_limit_s: float) -> ScheduledResult:
+    kwargs: Dict[str, object] = {}
+    if info.key == "checkmate_ilp":
+        kwargs["time_limit_s"] = ilp_time_limit_s
+    try:
+        return info.solve(graph, budget, **kwargs)
+    except ValueError as exc:
+        # e.g. Griewank on a non-linear graph.
+        from ..solvers.common import build_scheduled_result
+        return build_scheduled_result(info.key, graph, None, budget=budget, feasible=False,
+                                      solver_status=f"not-applicable: {exc}")
+
+
+def budget_sweep(
+    graph: DFGraph,
+    budgets: Optional[Sequence[int]] = None,
+    *,
+    strategies: Sequence[str] = DEFAULT_SWEEP_STRATEGIES,
+    ilp_time_limit_s: float = 120.0,
+    skip_linear_only_on_nonlinear: bool = True,
+) -> List[BudgetSweepPoint]:
+    """Run the Figure-5 sweep for one training graph.
+
+    Strategies without a budget knob (sqrt(n), Griewank, checkpoint-all) are
+    solved once and their single point replicated across budgets where it
+    fits -- matching how the paper plots them as single markers.
+    """
+    from ..baselines.griewank import is_linear_forward_graph
+
+    budgets = list(budgets) if budgets is not None else budget_grid(graph)
+    is_linear = is_linear_forward_graph(graph)
+
+    points: List[BudgetSweepPoint] = []
+    for key in strategies:
+        info = STRATEGIES[key]
+        if info.linear_only and skip_linear_only_on_nonlinear and not is_linear:
+            continue
+        if not info.has_budget_knob:
+            result = _solve_one(info, graph, max(budgets), ilp_time_limit_s)
+            for budget in budgets:
+                fits = result.feasible and result.peak_memory <= budget
+                points.append(BudgetSweepPoint(
+                    strategy=key, budget=budget, feasible=fits,
+                    compute_cost=result.compute_cost if fits else float("inf"),
+                    overhead=result.overhead if fits else float("inf"),
+                    peak_memory=result.peak_memory, solve_time_s=result.solve_time_s,
+                ))
+            continue
+        for budget in budgets:
+            result = _solve_one(info, graph, budget, ilp_time_limit_s)
+            ok = result.feasible and result.peak_memory <= budget
+            points.append(BudgetSweepPoint(
+                strategy=key, budget=budget, feasible=ok,
+                compute_cost=result.compute_cost if ok else float("inf"),
+                overhead=result.overhead if ok else float("inf"),
+                peak_memory=result.peak_memory if result.matrices is not None else 0,
+                solve_time_s=result.solve_time_s,
+            ))
+    return points
+
+
+def format_sweep(points: Iterable[BudgetSweepPoint]) -> str:
+    """Render sweep points as the text analogue of a Figure 5 panel."""
+    headers = ["strategy", "budget", "feasible", "overhead", "peak memory", "solve time"]
+    return format_table(headers, [p.as_row() for p in points])

@@ -1,0 +1,148 @@
+"""Figure 6: maximum batch size trainable with at most one extra forward pass.
+
+The paper asks: how large can the batch get before (a) the schedule no longer
+fits in 16 GB even with rematerialization, or (b) the recomputation overhead
+exceeds one additional forward pass (Eq. 10: total cost <= 2 * forward +
+backward)?  The original formulation makes the batch size a decision variable,
+which turns the MILP quadratic; following the substitution documented in
+DESIGN.md we instead run an outer search over integer batch sizes, solving the
+(linear) feasibility problem at each candidate -- the optimum over integers is
+the same, and like the paper we report a lower bound whenever the solver hits
+its time limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..autodiff import make_training_graph
+from ..baselines import STRATEGIES
+from ..core.dfgraph import DFGraph
+from ..cost_model import CostModel, FlopCostModel
+from ..utils.formatting import format_table
+
+__all__ = ["MaxBatchResult", "max_batch_size", "max_batch_experiment", "cost_cap"]
+
+#: Strategies reported in Figure 6.
+DEFAULT_MAX_BATCH_STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "linearized_greedy",
+                                "checkmate_approx")
+
+
+@dataclass
+class MaxBatchResult:
+    """Largest feasible batch size found for one (model, strategy) pair."""
+
+    model: str
+    strategy: str
+    max_batch_size: int
+    budget: int
+    normalized: float = 1.0  # relative to checkpoint-all, filled in by the experiment
+
+    def as_row(self) -> tuple:
+        return (self.model, self.strategy, self.max_batch_size, f"{self.normalized:.2f}x")
+
+
+def cost_cap(training_graph: DFGraph) -> float:
+    """Eq. (10): at most one extra forward pass of overhead."""
+    return 2.0 * training_graph.forward_cost() + training_graph.backward_cost()
+
+
+def _feasible_at_batch(
+    forward_builder: Callable[[int], DFGraph],
+    batch_size: int,
+    strategy_key: str,
+    budget: int,
+    cost_model: CostModel,
+    ilp_time_limit_s: float,
+) -> bool:
+    """Check whether ``strategy`` trains at ``batch_size`` within budget and cost cap."""
+    forward = forward_builder(batch_size)
+    graph = cost_model.apply(make_training_graph(forward))
+    if graph.constant_overhead >= budget:
+        return False
+    info = STRATEGIES[strategy_key]
+    kwargs: Dict[str, object] = {}
+    if strategy_key == "checkmate_ilp":
+        kwargs["time_limit_s"] = ilp_time_limit_s
+    try:
+        result = info.solve(graph, budget, **kwargs)
+    except ValueError:
+        return False
+    if not result.feasible or result.peak_memory > budget:
+        return False
+    return result.compute_cost <= cost_cap(graph) * (1.0 + 1e-9)
+
+
+def max_batch_size(
+    forward_builder: Callable[[int], DFGraph],
+    strategy_key: str,
+    *,
+    budget: int,
+    cost_model: Optional[CostModel] = None,
+    max_batch: int = 4096,
+    ilp_time_limit_s: float = 60.0,
+) -> int:
+    """Binary-search the largest batch size a strategy can train under Eq. (10).
+
+    ``forward_builder(batch)`` must return the forward graph at that batch
+    size.  Returns 0 when even batch size 1 is infeasible.
+    """
+    cost_model = cost_model or FlopCostModel()
+
+    def feasible(b: int) -> bool:
+        return _feasible_at_batch(forward_builder, b, strategy_key, budget,
+                                  cost_model, ilp_time_limit_s)
+
+    if not feasible(1):
+        return 0
+    # Exponential growth phase to bracket the answer, then binary search.
+    lo, hi = 1, 2
+    while hi <= max_batch and feasible(hi):
+        lo, hi = hi, hi * 2
+    hi = min(hi, max_batch + 1)
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_batch_experiment(
+    models: Dict[str, Callable[[int], DFGraph]],
+    *,
+    budget: int,
+    strategies: Sequence[str] = DEFAULT_MAX_BATCH_STRATEGIES,
+    cost_model: Optional[CostModel] = None,
+    max_batch: int = 4096,
+    ilp_time_limit_s: float = 60.0,
+) -> List[MaxBatchResult]:
+    """Run the Figure-6 study over a set of models.
+
+    ``models`` maps display names to ``builder(batch_size) -> forward graph``
+    callables.  Results include the batch size normalized against the
+    checkpoint-all strategy for the same model (the bar heights of Figure 6).
+    """
+    results: List[MaxBatchResult] = []
+    for model_name, builder in models.items():
+        per_model: List[MaxBatchResult] = []
+        for strategy in strategies:
+            best = max_batch_size(builder, strategy, budget=budget, cost_model=cost_model,
+                                  max_batch=max_batch, ilp_time_limit_s=ilp_time_limit_s)
+            per_model.append(MaxBatchResult(model=model_name, strategy=strategy,
+                                            max_batch_size=best, budget=budget))
+        baseline = next((r.max_batch_size for r in per_model
+                         if r.strategy == "checkpoint_all"), None)
+        for r in per_model:
+            if baseline:
+                r.normalized = r.max_batch_size / baseline
+        results.extend(per_model)
+    return results
+
+
+def format_max_batch(results: Sequence[MaxBatchResult]) -> str:
+    """Text rendering of Figure 6 (max batch size and normalized bars)."""
+    headers = ["model", "strategy", "max batch", "vs checkpoint-all"]
+    return format_table(headers, [r.as_row() for r in results])

@@ -1,0 +1,43 @@
+"""Figure 3: where training memory goes, per architecture.
+
+The paper motivates rematerialization by showing that activation (feature)
+memory dwarfs parameter memory for popular architectures, and that models are
+designed right up against the GPU memory limit.  This module tabulates the
+same breakdown for the architectures available in :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.dfgraph import DFGraph
+from ..cost_model import MemoryBreakdown, memory_breakdown
+from ..utils.formatting import format_bytes, format_table
+
+__all__ = ["memory_breakdown_table", "format_memory_breakdown"]
+
+
+def memory_breakdown_table(forward_graphs: Dict[str, DFGraph]) -> List[MemoryBreakdown]:
+    """Compute the Figure-3 breakdown for each forward graph."""
+    return [memory_breakdown(graph) for graph in forward_graphs.values()]
+
+
+def format_memory_breakdown(breakdowns: Iterable[MemoryBreakdown],
+                            gpu_limit_bytes: Optional[int] = None) -> str:
+    """Render the breakdown as text, optionally flagging models over a GPU limit."""
+    headers = ["model", "features", "params", "param grads", "workspace", "total", "feature %"]
+    rows: List[Tuple] = []
+    for b in breakdowns:
+        over = ""
+        if gpu_limit_bytes is not None and b.total > gpu_limit_bytes:
+            over = " (over limit)"
+        rows.append((
+            b.model,
+            format_bytes(b.features),
+            format_bytes(b.parameters),
+            format_bytes(b.parameter_gradients),
+            format_bytes(b.workspace),
+            format_bytes(b.total) + over,
+            f"{100 * b.feature_fraction():.1f}%",
+        ))
+    return format_table(headers, rows)

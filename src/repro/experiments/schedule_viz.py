@@ -1,0 +1,95 @@
+"""Figure 7: visualizing schedules as R matrices.
+
+The paper visualizes, for VGG19, when each layer is evaluated across the
+schedule's stages under TensorFlow's checkpoint-all policy, Chen et al.'s
+heuristic and Checkmate's ILP -- the denser lower triangle of the heuristics
+shows the extra recomputation, and the accompanying text reports the maximum
+trainable batch sizes (167 / 197 / 289).  Matplotlib is not available in this
+environment, so the renderer emits a compact ASCII heat-map which captures the
+same structure and can be embedded in reports or compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import STRATEGIES
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduleMatrices
+
+__all__ = ["render_schedule_ascii", "schedule_visualization", "ScheduleVisualization"]
+
+
+def render_schedule_ascii(matrices: ScheduleMatrices, *, max_width: int = 80,
+                          computed_char: str = "#", retained_char: str = ".",
+                          empty_char: str = " ") -> str:
+    """Render an ``(R, S)`` schedule as an ASCII heat map (rows = stages).
+
+    ``#`` marks a (re)computation, ``.`` a value retained in memory, and a
+    blank a value that is neither resident nor computed.  Wide schedules are
+    down-sampled column-wise to ``max_width`` characters.
+    """
+    R, S = matrices.R, matrices.S
+    T, n = R.shape
+    stride = max(1, int(np.ceil(n / max_width)))
+    lines: List[str] = []
+    for t in range(T):
+        chars = []
+        for start in range(0, n, stride):
+            block_r = R[t, start:start + stride]
+            block_s = S[t, start:start + stride]
+            if block_r.any():
+                chars.append(computed_char)
+            elif block_s.any():
+                chars.append(retained_char)
+            else:
+                chars.append(empty_char)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+@dataclass
+class ScheduleVisualization:
+    """Rendered schedules for Figure 7, one entry per strategy."""
+
+    graph_name: str
+    renders: Dict[str, str]
+    recompute_counts: Dict[str, int]
+
+    def side_by_side(self) -> str:
+        blocks = []
+        for name, art in self.renders.items():
+            header = f"=== {name} (total evaluations: {self.recompute_counts[name]}) ==="
+            blocks.append(header + "\n" + art)
+        return "\n\n".join(blocks)
+
+
+def schedule_visualization(
+    graph: DFGraph,
+    budget: int,
+    *,
+    strategies: Sequence[str] = ("checkpoint_all", "linearized_greedy", "checkmate_ilp"),
+    ilp_time_limit_s: float = 120.0,
+    max_width: int = 80,
+) -> ScheduleVisualization:
+    """Produce the Figure-7 style comparison for one graph and budget."""
+    renders: Dict[str, str] = {}
+    counts: Dict[str, int] = {}
+    for key in strategies:
+        info = STRATEGIES[key]
+        kwargs = {"time_limit_s": ilp_time_limit_s} if key == "checkmate_ilp" else {}
+        try:
+            result = info.solve(graph, budget, **kwargs)
+        except ValueError:
+            continue
+        if result.matrices is None:
+            renders[key] = "(infeasible)"
+            counts[key] = 0
+            continue
+        renders[key] = render_schedule_ascii(result.matrices, max_width=max_width)
+        counts[key] = int(result.matrices.total_evaluations())
+    return ScheduleVisualization(graph_name=graph.name, renders=renders,
+                                 recompute_counts=counts)

@@ -1,0 +1,45 @@
+"""Table 1: qualitative comparison of rematerialization strategies.
+
+The table's three capability columns -- general graphs, cost aware, memory
+aware -- are recorded on each :class:`~repro.baselines.strategies.StrategyInfo`
+in the registry; this module renders the registry as the paper's table so the
+benchmark harness can assert the qualitative claims (only Checkmate's ILP and
+approximation tick all three boxes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..baselines import STRATEGIES
+from ..utils.formatting import format_table
+
+__all__ = ["strategy_matrix_rows", "format_strategy_matrix"]
+
+
+def _flag(value: object) -> str:
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    return str(value)  # partial support marker "~"
+
+
+def strategy_matrix_rows() -> List[Tuple[str, str, str, str, str]]:
+    """Rows of Table 1: (strategy, description, general, cost-aware, memory-aware)."""
+    rows = []
+    for info in STRATEGIES.values():
+        rows.append((
+            info.key,
+            info.description,
+            _flag(info.general_graphs),
+            _flag(info.cost_aware),
+            _flag(info.memory_aware),
+        ))
+    return rows
+
+
+def format_strategy_matrix() -> str:
+    """Render Table 1 as text."""
+    headers = ["method", "description", "general graphs", "cost aware", "memory aware"]
+    return format_table(headers, strategy_matrix_rows())

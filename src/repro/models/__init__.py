@@ -1,0 +1,79 @@
+"""Architecture zoo: forward-graph builders for every network in the paper's evaluation.
+
+The registry maps the names used throughout the paper's figures and tables to
+builder callables.  ``get_model(name, ...)`` is the main entry point used by
+examples, tests and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+from .densenet import densenet, densenet121, densenet161
+from .fcn import fcn8
+from .linear import linear_cnn, linear_mlp
+from .mobilenet import mobilenet_v1
+from .resnet import resnet18, resnet34, resnet50, resnet_generic, resnet_tiny
+from .segnet import segnet
+from .unet import unet
+from .vgg import vgg16, vgg19, vgg_generic
+
+__all__ = [
+    "INPUT",
+    "LayerGraphBuilder",
+    "MODEL_REGISTRY",
+    "get_model",
+    "densenet",
+    "densenet121",
+    "densenet161",
+    "fcn8",
+    "linear_cnn",
+    "linear_mlp",
+    "mobilenet_v1",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet_generic",
+    "resnet_tiny",
+    "segnet",
+    "unet",
+    "vgg16",
+    "vgg19",
+    "vgg_generic",
+]
+
+#: Canonical model names (as used in the paper's figures) -> builder callables.
+MODEL_REGISTRY: Dict[str, Callable[..., DFGraph]] = {
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet_tiny": resnet_tiny,
+    "mobilenet": mobilenet_v1,
+    "unet": unet,
+    "fcn8": fcn8,
+    "segnet": segnet,
+    "densenet121": densenet121,
+    "densenet161": densenet161,
+    "linear_mlp": linear_mlp,
+    "linear_cnn": linear_cnn,
+}
+
+
+def get_model(name: str, **kwargs) -> DFGraph:
+    """Build a forward graph by registry name (case-insensitive).
+
+    Examples
+    --------
+    >>> g = get_model("vgg16", batch_size=2, resolution=64)
+    >>> g.size > 10
+    True
+    """
+    key = name.lower().replace("-", "").replace("_v1", "")
+    if key not in MODEL_REGISTRY:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_REGISTRY[key](**kwargs)

@@ -1,0 +1,68 @@
+"""DenseNet forward graphs (Huang et al., 2017).
+
+DenseNet-161 is the paper's example of an architecture whose rematerialization
+MILP is *not* tractable ("no feasible solution was found within one day",
+§5) -- every layer inside a dense block consumes the concatenation of all
+previous layers, so the graph is extremely edge-dense.  We include it so the
+approximation-algorithm path and the intractability anecdote can both be
+exercised; a small configurable variant keeps unit tests fast.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["densenet", "densenet121", "densenet161"]
+
+
+def densenet(block_config: Sequence[int], name: str, *, growth_rate: int = 32,
+             batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+             init_channels: int = 64, coarse: bool = True) -> DFGraph:
+    """Build a DenseNet with the given per-block layer counts."""
+    b = LayerGraphBuilder(name, (3, resolution, resolution), batch_size)
+    prev = b.conv("stem_conv", INPUT, init_channels, kernel=7, stride=2, bias=False)
+    prev = b.maxpool("stem_pool", prev, kernel=3, stride=2)
+    channels = init_channels
+    for block_idx, num_layers in enumerate(block_config, start=1):
+        features = [prev]
+        for layer_idx in range(1, num_layers + 1):
+            inp = features[0] if len(features) == 1 else b.concat(
+                f"b{block_idx}l{layer_idx}_concat", features)
+            if coarse:
+                bott = b.conv(f"b{block_idx}l{layer_idx}_conv1", inp, 4 * growth_rate,
+                              kernel=1, bias=False)
+                new = b.conv(f"b{block_idx}l{layer_idx}_conv2", bott, growth_rate,
+                             kernel=3, bias=False)
+            else:
+                bott = b.conv_bn_relu(f"b{block_idx}l{layer_idx}_1", inp, 4 * growth_rate, kernel=1)
+                new = b.conv_bn_relu(f"b{block_idx}l{layer_idx}_2", bott, growth_rate, kernel=3)
+            features.append(new)
+            channels += growth_rate
+        prev = b.concat(f"b{block_idx}_out", features)
+        if block_idx < len(block_config):
+            channels //= 2
+            prev = b.conv(f"trans{block_idx}_conv", prev, channels, kernel=1, bias=False)
+            prev = b.avgpool(f"trans{block_idx}_pool", prev, kernel=2)
+    pooled = b.global_avgpool("avgpool", prev)
+    logits = b.dense("fc", pooled, num_classes)
+    b.softmax_loss("loss", logits)
+    return b.build()
+
+
+def densenet121(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+                coarse: bool = True) -> DFGraph:
+    """DenseNet-121: blocks [6, 12, 24, 16], growth rate 32."""
+    return densenet([6, 12, 24, 16], f"DenseNet121-b{batch_size}-r{resolution}",
+                    growth_rate=32, batch_size=batch_size, resolution=resolution,
+                    num_classes=num_classes, coarse=coarse)
+
+
+def densenet161(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+                coarse: bool = True) -> DFGraph:
+    """DenseNet-161: blocks [6, 12, 36, 24], growth rate 48 (the intractable MILP case)."""
+    return densenet([6, 12, 36, 24], f"DenseNet161-b{batch_size}-r{resolution}",
+                    growth_rate=48, batch_size=batch_size, resolution=resolution,
+                    num_classes=num_classes, init_channels=96, coarse=coarse)

@@ -1,0 +1,67 @@
+"""FCN-8s forward graph (Long, Shelhamer & Darrell, 2015) with a VGG16 backbone.
+
+FCN8 appears in Figure 6 of the paper (max-batch-size study at 416x608).  The
+architecture adds two *skip* fusions from intermediate pooling stages of the
+VGG encoder to the up-sampled coarse predictions, making the graph non-linear
+(though less aggressively so than U-Net).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["fcn8"]
+
+_VGG16_BLOCKS: Sequence[Sequence[int]] = [
+    [64, 64],
+    [128, 128],
+    [256, 256, 256],
+    [512, 512, 512],
+    [512, 512, 512],
+]
+
+
+def fcn8(batch_size: int = 1, resolution: tuple[int, int] = (416, 608),
+         num_classes: int = 21, coarse: bool = True,
+         encoder_cfg: Sequence[Sequence[int]] | None = None) -> DFGraph:
+    """FCN-8s: VGG16 encoder, 1x1 score heads on pool3/pool4/pool5, fused by upsampling."""
+    cfg = _VGG16_BLOCKS if encoder_cfg is None else encoder_cfg
+    h, w = resolution
+    b = LayerGraphBuilder(f"FCN8-b{batch_size}-r{h}x{w}", (3, h, w), batch_size)
+
+    prev = INPUT
+    pool_outputs = []
+    for stage, channels in enumerate(cfg, start=1):
+        for i, c in enumerate(channels, start=1):
+            if coarse:
+                prev = b.conv(f"conv{stage}_{i}", prev, c, kernel=3)
+            else:
+                prev = b.conv_relu(f"conv{stage}_{i}", prev, c, kernel=3)
+        prev = b.maxpool(f"pool{stage}", prev, kernel=2)
+        pool_outputs.append(prev)
+
+    # Fully convolutional "classifier" head on top of pool5 (fc6/fc7 as convs).
+    fc6 = b.conv("fc6", prev, 4096, kernel=7) if not coarse else b.conv("fc6", prev, 1024, kernel=7)
+    fc7 = b.conv("fc7", fc6, 4096, kernel=1) if not coarse else b.conv("fc7", fc6, 1024, kernel=1)
+    score_fr = b.conv("score_fr", fc7, num_classes, kernel=1)
+
+    # FCN-8 skip architecture: fuse with pool4 and pool3 scores.
+    num_stages = len(cfg)
+    up2 = b.conv_transpose("upscore2", score_fr, num_classes, kernel=4, stride=2)
+    if num_stages >= 2:
+        score_pool4 = b.conv("score_pool4", pool_outputs[-2], num_classes, kernel=1)
+        fuse_pool4 = b.add("fuse_pool4", [up2, score_pool4])
+    else:  # very small test configurations
+        fuse_pool4 = up2
+    up4 = b.conv_transpose("upscore_pool4", fuse_pool4, num_classes, kernel=4, stride=2)
+    if num_stages >= 3:
+        score_pool3 = b.conv("score_pool3", pool_outputs[-3], num_classes, kernel=1)
+        fuse_pool3 = b.add("fuse_pool3", [up4, score_pool3])
+    else:
+        fuse_pool3 = up4
+    upfinal = b.conv_transpose("upscore8", fuse_pool3, num_classes, kernel=16, stride=8)
+    b.softmax_loss("loss", upfinal)
+    return b.build()

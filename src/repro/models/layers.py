@@ -1,0 +1,236 @@
+"""Layer-level shape, FLOP and parameter arithmetic.
+
+Checkmate's cost model (paper §4.10) needs, for every operation in the
+network, (a) the size of the output tensor -- which determines the memory
+``M_i`` consumed when the value is resident -- and (b) a compute cost ``C_i``.
+The paper obtains costs either statically as FLOPs (Figure 6, Table 2) or from
+on-device profiles (Figure 5).  This module provides the closed-form shape and
+FLOP formulas for the layer types appearing in the evaluated architectures
+(VGG, ResNet, MobileNet, U-Net, FCN, SegNet, DenseNet): convolutions,
+depthwise convolutions, transposed convolutions, pooling, dense layers,
+batch-norm, activations, element-wise addition and concatenation.
+
+Conventions
+-----------
+* Spatial tensors are described as ``(channels, height, width)`` for a single
+  example; the batch dimension is applied by the graph builder.
+* FLOPs count multiply-accumulate operations as 2 FLOPs, the common convention
+  used in the architecture literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "Shape",
+    "numel",
+    "conv2d_output_shape",
+    "conv2d_flops",
+    "conv2d_params",
+    "depthwise_conv2d_flops",
+    "depthwise_conv2d_params",
+    "conv_transpose2d_output_shape",
+    "conv_transpose2d_flops",
+    "pool2d_output_shape",
+    "pool2d_flops",
+    "global_pool_output_shape",
+    "dense_flops",
+    "dense_params",
+    "batchnorm_flops",
+    "batchnorm_params",
+    "activation_flops",
+    "elementwise_flops",
+    "concat_output_shape",
+    "upsample_output_shape",
+    "upsample_flops",
+    "softmax_flops",
+]
+
+Shape = Tuple[int, ...]
+
+
+def numel(shape: Shape) -> int:
+    """Number of scalar elements in a tensor of the given shape."""
+    total = 1
+    for d in shape:
+        total *= int(d)
+    return total
+
+
+def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# --------------------------------------------------------------------------- #
+# Convolutions
+# --------------------------------------------------------------------------- #
+def conv2d_output_shape(
+    in_shape: Shape,
+    out_channels: int,
+    kernel: int | Tuple[int, int],
+    stride: int | Tuple[int, int] = 1,
+    padding: str | int = "same",
+) -> Shape:
+    """Output shape of a 2-D convolution over a ``(C, H, W)`` input.
+
+    ``padding`` may be ``"same"`` (output spatial size ``ceil(H / stride)``),
+    ``"valid"`` or an explicit integer amount applied to both sides.
+    """
+    _, h, w = in_shape
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    if padding == "same":
+        oh = -(-h // sh)
+        ow = -(-w // sw)
+    elif padding == "valid":
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+    else:
+        p = int(padding)
+        oh = (h + 2 * p - kh) // sh + 1
+        ow = (w + 2 * p - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"conv2d output collapsed to non-positive size for input {in_shape}")
+    return (int(out_channels), int(oh), int(ow))
+
+
+def conv2d_flops(in_shape: Shape, out_shape: Shape, kernel: int | Tuple[int, int]) -> float:
+    """FLOPs of a standard convolution: ``2 * Cin * Kh * Kw * Cout * Hout * Wout``."""
+    cin = in_shape[0]
+    cout, oh, ow = out_shape
+    kh, kw = _pair(kernel)
+    return 2.0 * cin * kh * kw * cout * oh * ow
+
+
+def conv2d_params(in_channels: int, out_channels: int, kernel: int | Tuple[int, int],
+                  bias: bool = True) -> int:
+    """Parameter count of a standard convolution."""
+    kh, kw = _pair(kernel)
+    params = in_channels * out_channels * kh * kw
+    if bias:
+        params += out_channels
+    return int(params)
+
+
+def depthwise_conv2d_flops(in_shape: Shape, out_shape: Shape,
+                           kernel: int | Tuple[int, int]) -> float:
+    """FLOPs of a depthwise convolution (each channel convolved independently)."""
+    cout, oh, ow = out_shape
+    kh, kw = _pair(kernel)
+    return 2.0 * kh * kw * cout * oh * ow
+
+
+def depthwise_conv2d_params(channels: int, kernel: int | Tuple[int, int],
+                            bias: bool = True) -> int:
+    kh, kw = _pair(kernel)
+    params = channels * kh * kw
+    if bias:
+        params += channels
+    return int(params)
+
+
+def conv_transpose2d_output_shape(in_shape: Shape, out_channels: int,
+                                  kernel: int | Tuple[int, int],
+                                  stride: int | Tuple[int, int] = 2) -> Shape:
+    """Output shape of a transposed (up-sampling) convolution with "same"-style padding."""
+    _, h, w = in_shape
+    sh, sw = _pair(stride)
+    return (int(out_channels), int(h * sh), int(w * sw))
+
+
+def conv_transpose2d_flops(in_shape: Shape, out_shape: Shape,
+                           kernel: int | Tuple[int, int]) -> float:
+    """FLOPs of a transposed convolution (same arithmetic as conv over the output)."""
+    cin = in_shape[0]
+    cout, oh, ow = out_shape
+    kh, kw = _pair(kernel)
+    return 2.0 * cin * kh * kw * cout * oh * ow
+
+
+# --------------------------------------------------------------------------- #
+# Pooling / resampling
+# --------------------------------------------------------------------------- #
+def pool2d_output_shape(in_shape: Shape, kernel: int | Tuple[int, int] = 2,
+                        stride: Optional[int | Tuple[int, int]] = None) -> Shape:
+    """Output shape of max/average pooling (default non-overlapping 2x2)."""
+    c, h, w = in_shape
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    return (int(c), int(max(1, h // sh)), int(max(1, w // sw)))
+
+
+def pool2d_flops(out_shape: Shape, kernel: int | Tuple[int, int] = 2) -> float:
+    """FLOPs of pooling: one comparison/add per kernel element per output."""
+    kh, kw = _pair(kernel)
+    return float(numel(out_shape) * kh * kw)
+
+
+def global_pool_output_shape(in_shape: Shape) -> Shape:
+    """Global average pooling collapses the spatial dimensions."""
+    return (int(in_shape[0]), 1, 1)
+
+
+def upsample_output_shape(in_shape: Shape, factor: int = 2) -> Shape:
+    """Nearest-neighbour / bilinear up-sampling by an integer factor."""
+    c, h, w = in_shape
+    return (int(c), int(h * factor), int(w * factor))
+
+
+def upsample_flops(out_shape: Shape) -> float:
+    """Up-sampling costs roughly one copy (or 4-tap interpolation) per output element."""
+    return 4.0 * numel(out_shape)
+
+
+# --------------------------------------------------------------------------- #
+# Dense / normalization / activations / merges
+# --------------------------------------------------------------------------- #
+def dense_flops(in_features: int, out_features: int) -> float:
+    """FLOPs of a fully connected layer: ``2 * in * out``."""
+    return 2.0 * in_features * out_features
+
+
+def dense_params(in_features: int, out_features: int, bias: bool = True) -> int:
+    params = in_features * out_features
+    if bias:
+        params += out_features
+    return int(params)
+
+
+def batchnorm_flops(shape: Shape) -> float:
+    """Batch normalization: roughly 4 FLOPs per element (normalize + scale/shift)."""
+    return 4.0 * numel(shape)
+
+
+def batchnorm_params(channels: int) -> int:
+    """Scale and shift per channel (running statistics excluded, as they are buffers)."""
+    return int(2 * channels)
+
+
+def activation_flops(shape: Shape) -> float:
+    """Element-wise activation (ReLU, ReLU6, sigmoid): one FLOP per element."""
+    return float(numel(shape))
+
+
+def elementwise_flops(shape: Shape) -> float:
+    """Element-wise binary op (residual add): one FLOP per output element."""
+    return float(numel(shape))
+
+
+def softmax_flops(shape: Shape) -> float:
+    """Softmax / cross-entropy style op: ~5 FLOPs per element (exp, sum, div)."""
+    return 5.0 * numel(shape)
+
+
+def concat_output_shape(shapes: Sequence[Shape]) -> Shape:
+    """Channel-wise concatenation of ``(C, H, W)`` tensors with equal spatial dims."""
+    if not shapes:
+        raise ValueError("concat requires at least one input")
+    h, w = shapes[0][1], shapes[0][2]
+    for s in shapes:
+        if (s[1], s[2]) != (h, w):
+            raise ValueError(f"concat spatial dimensions differ: {shapes}")
+    return (int(sum(s[0] for s in shapes)), int(h), int(w))

@@ -1,0 +1,53 @@
+"""Simple linear (path-graph) networks: MLPs and plain CNN chains.
+
+Linear graphs are the setting of the prior work Checkmate generalizes
+(Griewank & Walther's REVOLVE, Chen et al.'s sqrt(n) heuristic), the subject
+of the Appendix-A integrality-gap study (an 8-layer linear network) and the
+workload behind Figure 1.  These builders produce forward graphs that are
+strict chains, optionally with non-uniform widths so costs and memories vary
+per layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["linear_mlp", "linear_cnn"]
+
+
+def linear_mlp(hidden_sizes: Sequence[int], *, batch_size: int = 1, input_features: int = 128,
+               name: str | None = None) -> DFGraph:
+    """A chain of dense layers; widths control the per-layer cost/memory profile."""
+    b = LayerGraphBuilder(name or f"MLP-{len(hidden_sizes)}L-b{batch_size}",
+                          (int(input_features),), batch_size)
+    prev = INPUT
+    for i, width in enumerate(hidden_sizes, start=1):
+        prev = b.dense(f"fc{i}", prev, int(width))
+    b.softmax_loss("loss", prev)
+    return b.build()
+
+
+def linear_cnn(num_layers: int = 8, *, batch_size: int = 1, resolution: int = 64,
+               channels: int = 32, pool_every: int = 0, name: str | None = None,
+               coarse: bool = True) -> DFGraph:
+    """A plain chain of convolutions (optionally with periodic pooling).
+
+    With ``pool_every = 0`` the activation size is constant across layers (the
+    idealized unit-memory setting of prior checkpointing work); with pooling
+    the activation sizes decay geometrically, exercising memory-awareness.
+    """
+    b = LayerGraphBuilder(name or f"LinearCNN-{num_layers}L-b{batch_size}",
+                          (3, resolution, resolution), batch_size)
+    prev = INPUT
+    for i in range(1, num_layers + 1):
+        if coarse:
+            prev = b.conv(f"conv{i}", prev, channels, kernel=3)
+        else:
+            prev = b.conv_relu(f"conv{i}", prev, channels, kernel=3)
+        if pool_every and i % pool_every == 0 and i < num_layers:
+            prev = b.maxpool(f"pool{i}", prev, kernel=2)
+    b.softmax_loss("loss", prev)
+    return b.build()

@@ -1,0 +1,64 @@
+"""MobileNet-v1 forward graph (Howard et al., 2017).
+
+MobileNet is the second linear architecture of Figure 5 (batch size 512) and
+the network for which Checkmate reports its headline 5.1x larger-batch result
+in Figure 6.  The network is a stack of depthwise-separable convolution blocks
+(depthwise 3x3 followed by pointwise 1x1), which gives a high dynamic range of
+per-layer costs -- exactly the situation where cost-aware rematerialization
+beats unit-cost heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["mobilenet_v1"]
+
+# (pointwise output channels, stride of the depthwise stage)
+_MOBILENET_CFG: Sequence[Tuple[int, int]] = [
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+]
+
+
+def mobilenet_v1(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+                 width_multiplier: float = 1.0, coarse: bool = True) -> DFGraph:
+    """MobileNet-v1 forward graph.
+
+    Parameters
+    ----------
+    width_multiplier:
+        Thins every layer's channel count (the ``alpha`` hyper-parameter of the
+        MobileNet paper); useful for building smaller test instances.
+    coarse:
+        Fuse BatchNorm+ReLU into the preceding convolution node (halves node
+        count, preserves the activation/checkpointing structure).
+    """
+    def c(channels: int) -> int:
+        return max(8, int(channels * width_multiplier))
+
+    b = LayerGraphBuilder(f"MobileNet-b{batch_size}-r{resolution}",
+                          (3, resolution, resolution), batch_size)
+    if coarse:
+        prev = b.conv("conv0", INPUT, c(32), kernel=3, stride=2, bias=False)
+    else:
+        prev = b.conv_bn_relu("conv0", INPUT, c(32), kernel=3, stride=2)
+    for idx, (channels, stride) in enumerate(_MOBILENET_CFG, start=1):
+        if coarse:
+            dw = b.depthwise_conv(f"dw{idx}", prev, kernel=3, stride=stride)
+            prev = b.conv(f"pw{idx}", dw, c(channels), kernel=1, stride=1, bias=False)
+        else:
+            dw = b.depthwise_conv(f"dw{idx}_conv", prev, kernel=3, stride=stride)
+            dw = b.relu(f"dw{idx}_relu", b.batchnorm(f"dw{idx}_bn", dw))
+            pw = b.conv(f"pw{idx}_conv", dw, c(channels), kernel=1, stride=1, bias=False)
+            prev = b.relu(f"pw{idx}_relu", b.batchnorm(f"pw{idx}_bn", pw))
+    pooled = b.global_avgpool("avgpool", prev)
+    logits = b.dense("fc", pooled, num_classes)
+    b.softmax_loss("loss", logits)
+    return b.build()

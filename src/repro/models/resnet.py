@@ -1,0 +1,127 @@
+"""ResNet forward graphs (He et al., 2016).
+
+ResNet-50 is the paper's representative *non-linear* classification
+architecture: residual (skip) connections break the linear-graph assumption of
+prior checkpointing work, which is why Checkmate's AP / linearized baseline
+generalizations exist.  Smaller variants (ResNet-18/34 and a configurable
+"tiny" ResNet) are provided for unit tests and CI-scale benchmarks where the
+full 50-layer MILP would be too slow on one core.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["resnet18", "resnet34", "resnet50", "resnet_tiny", "resnet_generic"]
+
+
+def _basic_block(b: LayerGraphBuilder, name: str, parent: int, channels: int,
+                 stride: int, coarse: bool) -> int:
+    """Two 3x3 convolutions plus identity (or 1x1 projection) shortcut."""
+    if coarse:
+        c1 = b.conv(f"{name}_conv1", parent, channels, kernel=3, stride=stride, bias=False)
+        c2 = b.conv(f"{name}_conv2", c1, channels, kernel=3, stride=1, bias=False)
+    else:
+        c1 = b.conv_bn_relu(f"{name}_1", parent, channels, kernel=3, stride=stride)
+        c2_conv = b.conv(f"{name}_2_conv", c1, channels, kernel=3, stride=1, bias=False)
+        c2 = b.batchnorm(f"{name}_2_bn", c2_conv)
+    shortcut = parent
+    if stride != 1 or b.shape_of(parent)[0] != channels:
+        shortcut = b.conv(f"{name}_proj", parent, channels, kernel=1, stride=stride, bias=False)
+    out = b.add(f"{name}_add", [c2, shortcut])
+    if not coarse:
+        out = b.relu(f"{name}_out_relu", out)
+    return out
+
+
+def _bottleneck_block(b: LayerGraphBuilder, name: str, parent: int, channels: int,
+                      stride: int, coarse: bool, expansion: int = 4) -> int:
+    """1x1 reduce -> 3x3 -> 1x1 expand bottleneck with shortcut (ResNet-50 style)."""
+    out_channels = channels * expansion
+    if coarse:
+        c1 = b.conv(f"{name}_conv1", parent, channels, kernel=1, stride=1, bias=False)
+        c2 = b.conv(f"{name}_conv2", c1, channels, kernel=3, stride=stride, bias=False)
+        c3 = b.conv(f"{name}_conv3", c2, out_channels, kernel=1, stride=1, bias=False)
+    else:
+        c1 = b.conv_bn_relu(f"{name}_1", parent, channels, kernel=1, stride=1)
+        c2 = b.conv_bn_relu(f"{name}_2", c1, channels, kernel=3, stride=stride)
+        c3_conv = b.conv(f"{name}_3_conv", c2, out_channels, kernel=1, stride=1, bias=False)
+        c3 = b.batchnorm(f"{name}_3_bn", c3_conv)
+    shortcut = parent
+    if stride != 1 or b.shape_of(parent)[0] != out_channels:
+        shortcut = b.conv(f"{name}_proj", parent, out_channels, kernel=1, stride=stride, bias=False)
+    out = b.add(f"{name}_add", [c3, shortcut])
+    if not coarse:
+        out = b.relu(f"{name}_out_relu", out)
+    return out
+
+
+def resnet_generic(
+    stage_blocks: Sequence[int],
+    name: str,
+    *,
+    bottleneck: bool,
+    batch_size: int = 1,
+    resolution: int = 224,
+    num_classes: int = 1000,
+    coarse: bool = True,
+    base_channels: int = 64,
+) -> DFGraph:
+    """Build a ResNet with the given per-stage block counts."""
+    b = LayerGraphBuilder(name, (3, resolution, resolution), batch_size)
+    stem = b.conv("stem_conv", INPUT, base_channels, kernel=7, stride=2, bias=False)
+    if not coarse:
+        stem = b.relu("stem_relu", b.batchnorm("stem_bn", stem))
+    prev = b.maxpool("stem_pool", stem, kernel=3, stride=2)
+    channels = base_channels
+    block_fn = _bottleneck_block if bottleneck else _basic_block
+    for stage, num_blocks in enumerate(stage_blocks, start=1):
+        for block in range(num_blocks):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            prev = block_fn(b, f"s{stage}b{block}", prev, channels, stride, coarse)
+        channels *= 2
+    pooled = b.global_avgpool("avgpool", prev)
+    logits = b.dense("fc", pooled, num_classes)
+    b.softmax_loss("loss", logits)
+    return b.build()
+
+
+def resnet18(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+             coarse: bool = True) -> DFGraph:
+    """ResNet-18: basic blocks, stages [2, 2, 2, 2]."""
+    return resnet_generic([2, 2, 2, 2], f"ResNet18-b{batch_size}-r{resolution}",
+                          bottleneck=False, batch_size=batch_size, resolution=resolution,
+                          num_classes=num_classes, coarse=coarse)
+
+
+def resnet34(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+             coarse: bool = True) -> DFGraph:
+    """ResNet-34: basic blocks, stages [3, 4, 6, 3]."""
+    return resnet_generic([3, 4, 6, 3], f"ResNet34-b{batch_size}-r{resolution}",
+                          bottleneck=False, batch_size=batch_size, resolution=resolution,
+                          num_classes=num_classes, coarse=coarse)
+
+
+def resnet50(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+             coarse: bool = True) -> DFGraph:
+    """ResNet-50: bottleneck blocks, stages [3, 4, 6, 3] -- as used in the paper."""
+    return resnet_generic([3, 4, 6, 3], f"ResNet50-b{batch_size}-r{resolution}",
+                          bottleneck=True, batch_size=batch_size, resolution=resolution,
+                          num_classes=num_classes, coarse=coarse)
+
+
+def resnet_tiny(batch_size: int = 1, resolution: int = 32, num_classes: int = 10,
+                blocks_per_stage: int = 1, coarse: bool = True) -> DFGraph:
+    """A small CIFAR-scale residual network used by tests and CI-scale benches.
+
+    It preserves the structural property that matters for Checkmate -- skip
+    connections that defeat linear-graph heuristics -- while keeping the MILP
+    instance small enough to solve to optimality in seconds.
+    """
+    return resnet_generic([blocks_per_stage] * 3,
+                          f"ResNetTiny-b{batch_size}-r{resolution}",
+                          bottleneck=False, batch_size=batch_size, resolution=resolution,
+                          num_classes=num_classes, coarse=coarse, base_channels=16)

@@ -1,0 +1,63 @@
+"""SegNet forward graph (Badrinarayanan et al., 2017).
+
+SegNet is one of the three semantic-segmentation networks of Figure 6
+(416x608 inputs).  It is a VGG-style encoder followed by a mirrored decoder
+that up-samples with pooling indices; structurally it is (nearly) linear, so it
+mainly exercises the cost-aware rather than the general-graph aspect of
+Checkmate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["segnet"]
+
+_ENCODER_CFG: Sequence[Sequence[int]] = [
+    [64, 64],
+    [128, 128],
+    [256, 256, 256],
+    [512, 512, 512],
+    [512, 512, 512],
+]
+
+
+def segnet(batch_size: int = 1, resolution: tuple[int, int] = (416, 608),
+           num_classes: int = 12, coarse: bool = True,
+           encoder_cfg: Sequence[Sequence[int]] | None = None) -> DFGraph:
+    """SegNet with a VGG16 encoder and mirrored decoder.
+
+    ``encoder_cfg`` may be overridden with a smaller configuration for tests.
+    """
+    cfg = _ENCODER_CFG if encoder_cfg is None else encoder_cfg
+    h, w = resolution
+    b = LayerGraphBuilder(f"SegNet-b{batch_size}-r{h}x{w}", (3, h, w), batch_size)
+
+    def block(name: str, parent: int, channels: Sequence[int]) -> int:
+        prev = parent
+        for i, c in enumerate(channels):
+            if coarse:
+                prev = b.conv(f"{name}_conv{i + 1}", prev, c, kernel=3)
+            else:
+                prev = b.conv_bn_relu(f"{name}_{i + 1}", prev, c, kernel=3)
+        return prev
+
+    # Encoder.
+    prev = INPUT
+    for stage, channels in enumerate(cfg, start=1):
+        prev = block(f"enc{stage}", prev, channels)
+        prev = b.maxpool(f"pool{stage}", prev, kernel=2)
+
+    # Decoder mirrors the encoder: upsample then convolutions, channel counts
+    # reversed so the final stage lands back at the first stage's width.
+    for stage, channels in enumerate(reversed(cfg), start=1):
+        prev = b.upsample(f"unpool{stage}", prev, factor=2)
+        decoder_channels = list(reversed(channels))
+        prev = block(f"dec{stage}", prev, decoder_channels)
+
+    logits = b.conv("head", prev, num_classes, kernel=3)
+    b.softmax_loss("loss", logits)
+    return b.build()

@@ -1,0 +1,73 @@
+"""U-Net forward graph (Ronneberger et al., 2015).
+
+U-Net is the paper's flagship non-linear workload: its long encoder-to-decoder
+skip connections mean the graph has *few articulation points*, so the AP
+baseline generalizations degrade and Checkmate's ILP shows its largest wins
+(1.2x faster than the best baseline at the V100 budget in Figure 5c, 1.73x
+larger batches in Figure 6).  The paper runs it for semantic segmentation at
+416x608 resolution.
+"""
+
+from __future__ import annotations
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["unet"]
+
+
+def unet(batch_size: int = 1, resolution: tuple[int, int] = (416, 608),
+         base_filters: int = 64, depth: int = 4, num_classes: int = 2,
+         coarse: bool = True, convs_per_block: int = 2) -> DFGraph:
+    """U-Net with a configurable depth and width.
+
+    Parameters
+    ----------
+    resolution:
+        ``(height, width)`` of the input image; the paper uses 416x608.
+    base_filters:
+        Channels of the first encoder block; doubled at every down-sampling.
+    depth:
+        Number of down-sampling steps (the paper's U-Net uses 4).
+    convs_per_block:
+        Convolutions per encoder/decoder block (2 in the original U-Net).
+    coarse:
+        Fuse ReLU into each convolution node.
+    """
+    h, w = resolution
+    b = LayerGraphBuilder(f"UNet-b{batch_size}-r{h}x{w}", (3, h, w), batch_size)
+
+    def conv_block(name: str, parent: int, channels: int) -> int:
+        prev = parent
+        for i in range(convs_per_block):
+            if coarse:
+                prev = b.conv(f"{name}_conv{i + 1}", prev, channels, kernel=3)
+            else:
+                prev = b.conv_relu(f"{name}_c{i + 1}", prev, channels, kernel=3)
+        return prev
+
+    # Encoder: conv blocks with skip outputs, then 2x2 max-pool.
+    skips = []
+    prev = INPUT
+    filters = base_filters
+    for level in range(depth):
+        block_out = conv_block(f"enc{level + 1}", prev, filters)
+        skips.append(block_out)
+        prev = b.maxpool(f"down{level + 1}", block_out, kernel=2)
+        filters *= 2
+
+    # Bottleneck.
+    prev = conv_block("bottleneck", prev, filters)
+
+    # Decoder: transposed conv, concatenate with the matching encoder output,
+    # then a conv block.  The concat edges are the long skip connections that
+    # defeat articulation-point checkpointing.
+    for level in reversed(range(depth)):
+        filters //= 2
+        up = b.conv_transpose(f"up{level + 1}", prev, filters, kernel=2, stride=2)
+        merged = b.concat(f"skip{level + 1}", [up, skips[level]])
+        prev = conv_block(f"dec{level + 1}", merged, filters)
+
+    logits = b.conv("head", prev, num_classes, kernel=1)
+    b.softmax_loss("loss", logits)
+    return b.build()

@@ -1,0 +1,88 @@
+"""VGG-16 and VGG-19 forward graphs (Simonyan & Zisserman, 2014).
+
+VGG is the canonical *linear* architecture in the paper's evaluation: Figure 5
+sweeps VGG16 at batch size 256, Figure 7 visualizes VGG19 schedules, and both
+appear in the Table 2 approximation-ratio study.  The paper also uses VGG to
+motivate cost-awareness: its largest layer is six orders of magnitude more
+expensive than its smallest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dfgraph import DFGraph
+from .builder import INPUT, LayerGraphBuilder
+
+__all__ = ["vgg16", "vgg19", "vgg_generic"]
+
+# Configuration strings: number = conv output channels, "M" = 2x2 max pooling.
+_VGG16_CFG: Sequence[object] = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                                512, 512, 512, "M", 512, 512, 512, "M"]
+_VGG19_CFG: Sequence[object] = [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+                                512, 512, 512, 512, "M", 512, 512, 512, 512, "M"]
+
+
+def vgg_generic(
+    cfg: Sequence[object],
+    name: str,
+    *,
+    batch_size: int = 1,
+    resolution: int = 224,
+    num_classes: int = 1000,
+    coarse: bool = True,
+    include_classifier: bool = True,
+) -> DFGraph:
+    """Build a VGG-style network from a channel/pool configuration list.
+
+    Parameters
+    ----------
+    coarse:
+        When ``True`` each Conv+ReLU pair is fused into a single graph node
+        (the ReLU FLOPs are folded into the convolution).  This halves the node
+        count, which keeps MILP instances tractable on small machines, without
+        changing the memory/therefore-checkpointing structure: the fused node's
+        output is exactly the activation the backward pass needs.
+    """
+    b = LayerGraphBuilder(name, (3, resolution, resolution), batch_size)
+    prev = INPUT
+    block, conv_idx = 1, 1
+    for item in cfg:
+        if item == "M":
+            prev = b.maxpool(f"pool{block}", prev, kernel=2)
+            block += 1
+            conv_idx = 1
+        else:
+            channels = int(item)
+            layer_name = f"conv{block}_{conv_idx}"
+            if coarse:
+                c = b.conv(layer_name, prev, channels, kernel=3, padding="same")
+                prev = c
+            else:
+                prev = b.conv_relu(layer_name, prev, channels, kernel=3, padding="same")
+            conv_idx += 1
+    if include_classifier:
+        flat = b.flatten("flatten", prev)
+        fc1 = b.dense("fc1", flat, 4096)
+        fc2 = b.dense("fc2", fc1, 4096)
+        logits = b.dense("fc3", fc2, num_classes)
+        b.softmax_loss("loss", logits)
+    else:
+        b.softmax_loss("loss", prev)
+    return b.build()
+
+
+def vgg16(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+          coarse: bool = True) -> DFGraph:
+    """VGG-16 forward graph at the given batch size and input resolution."""
+    return vgg_generic(_VGG16_CFG, f"VGG16-b{batch_size}-r{resolution}",
+                       batch_size=batch_size, resolution=resolution,
+                       num_classes=num_classes, coarse=coarse)
+
+
+def vgg19(batch_size: int = 1, resolution: int = 224, num_classes: int = 1000,
+          coarse: bool = True) -> DFGraph:
+    """VGG-19 forward graph at the given batch size and input resolution."""
+    return vgg_generic(_VGG19_CFG, f"VGG19-b{batch_size}-r{resolution}",
+                       batch_size=batch_size, resolution=resolution,
+                       num_classes=num_classes, coarse=coarse)

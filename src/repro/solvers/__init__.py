@@ -1,0 +1,37 @@
+"""Rematerialization solvers: optimal MILP, LP relaxation, rounding approximation."""
+
+from .approximation import (
+    APPROX_STRATEGY_NAME,
+    RoundingSample,
+    naive_rounding_feasibility,
+    randomized_rounding_samples,
+    solve_approx_lp_rounding,
+    two_phase_round,
+)
+from .branch_and_bound import BranchAndBoundResult, solve_branch_and_bound
+from .common import build_scheduled_result
+from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
+from .ilp import ILP_STRATEGY_NAME, solve_ilp_rematerialization
+from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
+from .min_r import checkpoint_set_to_schedule, solve_min_r
+
+__all__ = [
+    "APPROX_STRATEGY_NAME",
+    "RoundingSample",
+    "naive_rounding_feasibility",
+    "randomized_rounding_samples",
+    "solve_approx_lp_rounding",
+    "two_phase_round",
+    "BranchAndBoundResult",
+    "solve_branch_and_bound",
+    "build_scheduled_result",
+    "FormulationArrays",
+    "InfeasibleBudgetError",
+    "MILPFormulation",
+    "ILP_STRATEGY_NAME",
+    "solve_ilp_rematerialization",
+    "LPRelaxationResult",
+    "solve_lp_relaxation",
+    "checkpoint_set_to_schedule",
+    "solve_min_r",
+]

@@ -1,0 +1,94 @@
+"""Minimal-recomputation completion: solve for ``R`` given a fixed ``S``.
+
+Several parts of the system fix the checkpoint policy first and then need the
+cheapest feasible recomputation matrix:
+
+* phase two of the LP-rounding approximation (Algorithm 2, §5.2),
+* every baseline heuristic -- the paper implements baselines "as a static
+  policy for the decision variable S and then solve[s] for the lowest-cost
+  recomputation schedule" (§6.2), and
+* the AP / linearized generalizations of Appendix B, where the optimal ``R``
+  given ``S`` is found by graph traversal in ``O(|V||E|)``.
+
+Given ``S``, an entry ``R[t, i] = 1`` is *necessary* exactly when (a) it is the
+frontier node of stage ``t``, (b) the value must be produced in stage ``t`` to
+satisfy a checkpoint ``S[t+1, i] = 1`` that is not already covered by
+``S[t, i]``, or (c) some node recomputed later in stage ``t`` consumes ``v_i``
+and ``v_i`` is not checkpointed.  Setting only those entries yields the unique
+minimal ``R`` (every 1 is forced), hence the conditionally optimal completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduleMatrices
+
+__all__ = ["solve_min_r", "checkpoint_set_to_schedule"]
+
+
+def solve_min_r(graph: DFGraph, S: np.ndarray) -> ScheduleMatrices:
+    """Compute the minimal feasible ``R`` for a fixed binary checkpoint matrix ``S``.
+
+    Parameters
+    ----------
+    graph:
+        The data-flow graph.
+    S:
+        ``(n, n)`` 0/1 checkpoint matrix (frontier-advancing layout: strictly
+        lower triangular).  Rows above the diagonal are ignored/cleared.
+
+    Returns
+    -------
+    :class:`ScheduleMatrices` with the given ``S`` (made strictly lower
+    triangular) and the conditionally optimal ``R``.
+    """
+    n = graph.size
+    S = np.asarray(S, dtype=np.uint8).copy()
+    if S.shape != (n, n):
+        raise ValueError(f"S must be ({n}, {n}), got {S.shape}")
+    # Enforce the frontier-advancing structural zeros: no checkpoints into the
+    # first stage and nothing at/above the diagonal.
+    S[np.triu_indices(n, k=0)] = 0
+    S[0, :] = 0
+
+    R = np.zeros((n, n), dtype=np.uint8)
+    for t in range(n):
+        R[t, t] = 1  # (8a) frontier node
+
+        # (1c): values checkpointed into stage t+1 must exist during stage t.
+        if t + 1 < n:
+            for i in np.flatnonzero(S[t + 1]):
+                if not S[t, i]:
+                    R[t, i] = 1
+
+        # (1b): close the computed set under dependencies.  Scanning in reverse
+        # topological order guarantees one pass suffices (a parent marked here
+        # is processed later in the scan, i.e. at a smaller index).
+        for j in range(t, -1, -1):
+            if not R[t, j]:
+                continue
+            for i in graph.predecessors(j):
+                if not S[t, i] and not R[t, i]:
+                    R[t, i] = 1
+    return ScheduleMatrices(R, S)
+
+
+def checkpoint_set_to_schedule(graph: DFGraph, checkpoints: set[int] | list[int]) -> ScheduleMatrices:
+    """Lift a *static* checkpoint set into frontier-advancing ``(R, S)`` matrices.
+
+    Heuristics like Chen et al.'s sqrt(n) select a single set of nodes to keep
+    resident for the whole execution.  In the paper's representation this means
+    ``S[t, i] = 1`` for every checkpointed ``i`` in every stage after ``i`` has
+    first been computed (stage ``i``), after which :func:`solve_min_r` restores
+    dependency feasibility with minimal recomputation.
+    """
+    n = graph.size
+    ckpt = set(int(c) for c in checkpoints)
+    S = np.zeros((n, n), dtype=np.uint8)
+    for i in ckpt:
+        if not (0 <= i < n):
+            raise ValueError(f"checkpoint node {i} outside graph")
+        S[i + 1:, i] = 1
+    return solve_min_r(graph, S)

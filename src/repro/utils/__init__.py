@@ -1,0 +1,14 @@
+"""Miscellaneous helpers: formatting, serialization and timing."""
+
+from .formatting import format_bytes, format_table, geomean
+from .serialization import schedule_from_json, schedule_to_json
+from .timer import Timer
+
+__all__ = [
+    "format_bytes",
+    "format_table",
+    "geomean",
+    "schedule_from_json",
+    "schedule_to_json",
+    "Timer",
+]

@@ -1,0 +1,42 @@
+"""Small formatting helpers used by the experiment harness and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["format_bytes", "format_table", "geomean"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human readable byte count (``1.50 GiB`` style)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} TiB"  # pragma: no cover - unreachable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, as used for the approximation ratios of Table 2."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (used to print paper tables)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)

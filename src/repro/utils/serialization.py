@@ -1,0 +1,49 @@
+"""JSON (de)serialization of schedules.
+
+Checkmate solves the MILP once per (architecture, batch size, budget) and then
+reuses the schedule for millions of training iterations, so schedules need to
+be persistable.  We serialize the ``(R, S)`` matrices together with enough
+metadata to detect mismatched graphs on reload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduleMatrices
+
+__all__ = ["schedule_to_json", "schedule_from_json"]
+
+
+def schedule_to_json(graph: DFGraph, matrices: ScheduleMatrices, *, strategy: str = "") -> str:
+    """Serialize a schedule to a JSON string."""
+    payload = {
+        "format": "repro.checkmate.schedule/v1",
+        "graph_name": graph.name,
+        "graph_size": graph.size,
+        "graph_num_edges": graph.num_edges,
+        "strategy": strategy,
+        "R": matrices.R.astype(int).tolist(),
+        "S": matrices.S.astype(int).tolist(),
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(data: str, graph: Optional[DFGraph] = None) -> ScheduleMatrices:
+    """Load a schedule from JSON, optionally validating it against a graph."""
+    payload = json.loads(data)
+    if payload.get("format") != "repro.checkmate.schedule/v1":
+        raise ValueError("not a serialized repro schedule")
+    R = np.asarray(payload["R"], dtype=np.uint8)
+    S = np.asarray(payload["S"], dtype=np.uint8)
+    if graph is not None:
+        if payload["graph_size"] != graph.size or R.shape[1] != graph.size:
+            raise ValueError(
+                f"schedule was produced for a graph with {payload['graph_size']} nodes, "
+                f"but the supplied graph has {graph.size}"
+            )
+    return ScheduleMatrices(R, S)

@@ -1,0 +1,91 @@
+"""Tests for the backward-graph (training graph) construction."""
+
+import pytest
+
+from repro.autodiff import BackwardConfig, make_training_graph
+from repro.core import linear_graph
+from repro.core.graph_utils import is_topological_order
+
+
+class TestStructure:
+    def test_doubles_node_count(self, chain5):
+        train = make_training_graph(chain5)
+        assert train.size == 2 * chain5.size
+
+    def test_topological_order_preserved(self, chain5, diamond_graph):
+        for g in (chain5, diamond_graph):
+            assert is_topological_order(make_training_graph(g))
+
+    def test_grad_index_metadata(self, chain5):
+        train = make_training_graph(chain5)
+        grad_index = train.meta["grad_index"]
+        assert train.meta["n_forward"] == chain5.size
+        assert sorted(grad_index.keys()) == list(range(chain5.size))
+        # Gradients are appended in reverse forward order.
+        assert grad_index[chain5.size - 1] == chain5.size
+        assert grad_index[0] == train.size - 1
+
+    def test_backward_nodes_flagged(self, chain5):
+        train = make_training_graph(chain5)
+        assert train.forward_nodes() == list(range(chain5.size))
+        assert train.backward_nodes() == list(range(chain5.size, train.size))
+
+    def test_gradient_names(self, chain5):
+        train = make_training_graph(chain5)
+        grad_of_last = train.nodes[chain5.size]
+        assert grad_of_last.name.startswith("grad_")
+
+
+class TestDependencies:
+    def test_chain_gradient_ladder(self, chain5):
+        train = make_training_graph(chain5)
+        gi = train.meta["grad_index"]
+        n = chain5.size
+        # grad of the loss node depends only on the loss node itself.
+        assert train.predecessors(gi[n - 1]) == (n - 1,)
+        # grad of an interior node i depends on grad of i+1 and saved activations.
+        deps = set(train.predecessors(gi[2]))
+        assert gi[3] in deps
+        assert 2 in deps  # own activation (input of the consumer)
+
+    def test_consumer_output_dependency_toggle(self, chain5):
+        with_out = make_training_graph(chain5, BackwardConfig(grad_needs_consumer_output=True))
+        without = make_training_graph(chain5, BackwardConfig(grad_needs_consumer_output=False))
+        gi = with_out.meta["grad_index"]
+        assert 3 in with_out.predecessors(gi[2])      # consumer's own output saved
+        assert 3 not in without.predecessors(gi[2])
+
+    def test_diamond_gradient_fan_in(self, diamond_graph):
+        train = make_training_graph(diamond_graph)
+        gi = train.meta["grad_index"]
+        # Node 0 has two users (1 and 3), so its gradient consumes both their gradients.
+        deps = set(train.predecessors(gi[0]))
+        assert gi[1] in deps and gi[3] in deps
+
+
+class TestCostsAndMemory:
+    def test_gradient_memory_matches_forward(self, chain5):
+        train = make_training_graph(chain5)
+        gi = train.meta["grad_index"]
+        for i in range(chain5.size):
+            assert train.memory(gi[i]) == chain5.memory(i)
+
+    def test_backward_cost_scales_with_factor(self, chain5):
+        low = make_training_graph(chain5, BackwardConfig(backward_cost_factor=1.0))
+        high = make_training_graph(chain5, BackwardConfig(backward_cost_factor=3.0))
+        assert high.backward_cost() == pytest.approx(3.0 * low.backward_cost())
+
+    def test_total_backward_cost_close_to_factor_times_forward(self):
+        fwd = linear_graph(10, cost=[float(i + 1) for i in range(10)], memory=4)
+        train = make_training_graph(fwd, BackwardConfig(backward_cost_factor=2.0))
+        # Backward cost is distributed per consumer, so the total matches 2x the
+        # forward cost of all *consumed* nodes plus the loss seed.
+        assert train.backward_cost() == pytest.approx(2.0 * fwd.total_cost(), rel=0.25)
+
+    def test_parameter_and_input_memory_carried_over(self, chain5):
+        g = chain5
+        g2 = type(g)(nodes=g.nodes, deps=g.deps, input_memory=7, parameter_memory=11)
+        train = make_training_graph(g2)
+        assert train.input_memory == 7
+        assert train.parameter_memory == 11
+        assert train.constant_overhead == 7 + 22

@@ -1,0 +1,111 @@
+"""Tests for the FLOP / profile / uniform cost models and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import make_training_graph
+from repro.cost_model import (
+    CPU_DEVICE,
+    NVIDIA_V100,
+    FlopCostModel,
+    ProfileCostModel,
+    UniformCostModel,
+    memory_breakdown,
+)
+from repro.models import vgg16
+
+
+@pytest.fixture(scope="module")
+def vgg_forward():
+    return vgg16(batch_size=2, resolution=32)
+
+
+class TestFlopAndUniform:
+    def test_flop_model_is_identity(self, vgg_forward):
+        costs = FlopCostModel().costs(vgg_forward)
+        assert np.allclose(costs, vgg_forward.cost_vector)
+
+    def test_flop_model_scaling(self, vgg_forward):
+        assert np.allclose(FlopCostModel(scale=2.0).costs(vgg_forward),
+                           2 * vgg_forward.cost_vector)
+
+    def test_flop_model_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            FlopCostModel(scale=0)
+
+    def test_uniform_model(self, vgg_forward):
+        assert np.allclose(UniformCostModel().costs(vgg_forward), 1.0)
+
+    def test_apply_returns_new_graph(self, vgg_forward):
+        g2 = UniformCostModel().apply(vgg_forward)
+        assert g2.total_cost() == vgg_forward.size
+        assert vgg_forward.total_cost() != vgg_forward.size
+
+
+class TestProfileModel:
+    def test_costs_positive_and_finite(self, vgg_forward):
+        costs = ProfileCostModel().costs(vgg_forward)
+        assert np.all(costs > 0)
+        assert np.all(np.isfinite(costs))
+
+    def test_deterministic(self, vgg_forward):
+        a = ProfileCostModel(seed=1).costs(vgg_forward)
+        b = ProfileCostModel(seed=1).costs(vgg_forward)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_jitter(self, vgg_forward):
+        a = ProfileCostModel(seed=1).costs(vgg_forward)
+        b = ProfileCostModel(seed=2).costs(vgg_forward)
+        assert not np.array_equal(a, b)
+        assert np.allclose(a, b, rtol=0.2)  # jitter is small
+
+    def test_faster_device_is_faster(self, vgg_forward):
+        v100 = ProfileCostModel(device=NVIDIA_V100).costs(vgg_forward).sum()
+        cpu = ProfileCostModel(device=CPU_DEVICE).costs(vgg_forward).sum()
+        assert v100 < cpu
+
+    def test_big_layers_cost_more(self, vgg_forward):
+        costs = ProfileCostModel().costs(vgg_forward)
+        flops = vgg_forward.cost_vector
+        heaviest = int(np.argmax(flops))
+        lightest = int(np.argmin(flops + (flops == 0) * flops.max()))
+        assert costs[heaviest] > costs[lightest]
+
+    def test_works_on_training_graph(self, vgg_forward):
+        train = make_training_graph(vgg_forward)
+        costs = ProfileCostModel().costs(train)
+        assert costs.shape == (train.size,)
+        assert np.all(costs > 0)
+
+    def test_nonuniform_costs(self, vgg_forward):
+        # The paper's motivation: per-layer costs vary by orders of magnitude.
+        costs = ProfileCostModel().costs(vgg_forward)
+        assert costs.max() / costs.min() > 3
+
+
+class TestDeviceSpecs:
+    def test_v100_matches_paper_description(self):
+        assert NVIDIA_V100.memory_gb == pytest.approx(16.0)
+        assert NVIDIA_V100.peak_flops > 1e13
+
+    def test_device_memory_property(self):
+        assert CPU_DEVICE.memory_bytes == int(CPU_DEVICE.memory_gb * 2**30)
+
+
+class TestMemoryBreakdown:
+    def test_features_dominate_parameters_at_large_batch(self):
+        g = vgg16(batch_size=64, resolution=64)
+        b = memory_breakdown(g)
+        assert b.features > b.parameters
+        assert 0.0 < b.feature_fraction() < 1.0
+
+    def test_totals_add_up(self, vgg_forward):
+        b = memory_breakdown(vgg_forward)
+        assert b.total == b.features + b.parameters + b.parameter_gradients + b.workspace + b.inputs
+
+    def test_gradients_match_parameters(self, vgg_forward):
+        b = memory_breakdown(vgg_forward)
+        assert b.parameter_gradients == b.parameters
+
+    def test_as_row_shape(self, vgg_forward):
+        assert len(memory_breakdown(vgg_forward).as_row()) == 7

@@ -1,0 +1,165 @@
+"""Unit tests for the data-flow graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import DFGraph, GraphError, NodeInfo, linear_graph
+
+
+def make_simple() -> DFGraph:
+    nodes = [NodeInfo("a", 1.0, 4), NodeInfo("b", 2.0, 8), NodeInfo("c", 3.0, 16)]
+    return DFGraph(nodes=nodes, deps={0: [], 1: [0], 2: [0, 1]},
+                   input_memory=10, parameter_memory=20, name="simple")
+
+
+class TestConstruction:
+    def test_size_and_len(self):
+        g = make_simple()
+        assert g.size == 3
+        assert len(g) == 3
+
+    def test_deps_are_sorted_tuples(self):
+        g = make_simple()
+        assert g.predecessors(2) == (0, 1)
+        assert g.predecessors(0) == ()
+
+    def test_users_are_derived(self):
+        g = make_simple()
+        assert g.successors(0) == (1, 2)
+        assert g.successors(2) == ()
+
+    def test_duplicate_parents_are_deduplicated(self):
+        g = DFGraph(nodes=[NodeInfo("a", 1, 1), NodeInfo("b", 1, 1)], deps={1: [0, 0]})
+        assert g.predecessors(1) == (0,)
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(GraphError):
+            DFGraph(nodes=[NodeInfo("a", 1, 1), NodeInfo("b", 1, 1)], deps={0: [1], 1: []})
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(GraphError):
+            DFGraph(nodes=[NodeInfo("a", 1, 1)], deps={0: [0]})
+
+    def test_out_of_range_dependency_rejected(self):
+        with pytest.raises(GraphError):
+            DFGraph(nodes=[NodeInfo("a", 1, 1)], deps={0: [5]})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(GraphError):
+            DFGraph(nodes=[NodeInfo("a", -1.0, 1)], deps={0: []})
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(GraphError):
+            DFGraph(nodes=[NodeInfo("a", 1.0, -5)], deps={0: []})
+
+
+class TestAccessors:
+    def test_cost_and_memory_vectors(self):
+        g = make_simple()
+        assert np.allclose(g.cost_vector, [1.0, 2.0, 3.0])
+        assert np.allclose(g.memory_vector, [4, 8, 16])
+
+    def test_scalar_accessors(self):
+        g = make_simple()
+        assert g.cost(1) == 2.0
+        assert g.memory(2) == 16
+
+    def test_vectors_are_copies(self):
+        g = make_simple()
+        v = g.cost_vector
+        v[0] = 999
+        assert g.cost(0) == 1.0
+
+    def test_edges_and_edge_count(self):
+        g = make_simple()
+        assert set(g.edges()) == {(0, 1), (0, 2), (1, 2)}
+        assert g.num_edges == 3
+        assert g.edge_list == sorted(g.edge_list)
+
+    def test_constant_overhead(self):
+        g = make_simple()
+        assert g.constant_overhead == 10 + 2 * 20
+
+    def test_sources_and_sinks(self):
+        g = make_simple()
+        assert g.sources() == [0]
+        assert g.sinks() == [2]
+        assert g.terminal_node == 2
+
+    def test_total_cost_and_memory(self):
+        g = make_simple()
+        assert g.total_cost() == 6.0
+        assert g.total_activation_memory() == 28
+
+    def test_max_degree(self):
+        g = make_simple()
+        assert g.max_degree() == 2  # every node touches exactly two edges
+
+
+class TestForwardBackwardSplit:
+    def test_forward_nodes_default(self):
+        g = make_simple()
+        assert g.forward_nodes() == [0, 1, 2]
+        assert g.backward_nodes() == []
+
+    def test_backward_flagged_nodes(self):
+        nodes = [NodeInfo("f", 1, 1), NodeInfo("g", 1, 1, is_backward=True)]
+        g = DFGraph(nodes=nodes, deps={1: [0]})
+        assert g.forward_nodes() == [0]
+        assert g.backward_nodes() == [1]
+        assert g.forward_cost() == 1.0
+        assert g.backward_cost() == 1.0
+
+
+class TestTransformations:
+    def test_with_costs(self):
+        g = make_simple()
+        g2 = g.with_costs([5.0, 6.0, 7.0])
+        assert g2.total_cost() == 18.0
+        assert g.total_cost() == 6.0  # original untouched
+        assert g2.predecessors(2) == g.predecessors(2)
+
+    def test_with_costs_wrong_length(self):
+        with pytest.raises(GraphError):
+            make_simple().with_costs([1.0])
+
+    def test_with_memories(self):
+        g2 = make_simple().with_memories([1, 1, 1])
+        assert g2.total_activation_memory() == 3
+
+    def test_with_memories_wrong_length(self):
+        with pytest.raises(GraphError):
+            make_simple().with_memories([1, 2])
+
+    def test_scaled_batch_factor(self):
+        g = make_simple()
+        g2 = g.scaled(2.0)
+        assert np.allclose(g2.cost_vector, 2 * g.cost_vector)
+        assert g2.total_activation_memory() == 2 * g.total_activation_memory()
+        assert g2.input_memory == 2 * g.input_memory
+        assert g2.parameter_memory == g.parameter_memory  # batch independent
+
+    def test_induced_subgraph(self):
+        g = make_simple()
+        sub = g.induced_subgraph([0, 2])
+        assert sub.size == 2
+        # edge 0->2 is preserved, edge through the dropped node 1 is not re-created
+        assert set(sub.edges()) == {(0, 1)}
+        assert sub.nodes[1].name == "c"
+
+    def test_to_networkx(self):
+        nx_graph = make_simple().to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.nodes[1]["name"] == "b"
+
+
+class TestLinearChain:
+    def test_is_linear_chain_true(self):
+        assert linear_graph(4).is_linear_chain()
+
+    def test_is_linear_chain_false(self):
+        assert not make_simple().is_linear_chain()
+
+    def test_summary_mentions_name(self):
+        assert "simple" in make_simple().summary()

@@ -1,0 +1,112 @@
+"""End-to-end numeric tests: rematerialized plans compute identical results."""
+
+import numpy as np
+import pytest
+
+from conftest import tight_budget
+
+from repro.core import (
+    checkpoint_all_schedule,
+    checkpoint_last_node_schedule,
+    generate_execution_plan,
+)
+from repro.execution import (
+    execute_checkpoint_all,
+    execute_plan,
+    make_numeric_chain,
+    make_numeric_dag,
+)
+from repro.core.simulator import PlanSimulationError
+from repro.solvers import solve_approx_lp_rounding, solve_ilp_rematerialization
+
+
+class TestNumericGraphs:
+    def test_chain_builder_shapes(self):
+        numeric = make_numeric_chain(num_layers=4, width=8, seed=0)
+        assert numeric.graph.size == 6  # input + 4 layers + loss
+        assert numeric.graph.is_linear_chain()
+
+    def test_dag_builder_deterministic(self):
+        a = make_numeric_dag(num_nodes=8, seed=3)
+        b = make_numeric_dag(num_nodes=8, seed=3)
+        assert list(a.graph.edges()) == list(b.graph.edges())
+
+    def test_missing_function_rejected(self):
+        from repro.execution.ops import NumericGraph
+        numeric = make_numeric_chain(3)
+        funcs = dict(numeric.functions)
+        funcs.pop(0)
+        with pytest.raises(ValueError):
+            NumericGraph(graph=numeric.graph, functions=funcs)
+
+
+class TestReferenceExecution:
+    def test_checkpoint_all_plan_matches_reference(self):
+        numeric = make_numeric_chain(num_layers=5, width=8, seed=1)
+        reference = execute_checkpoint_all(numeric)
+        plan = generate_execution_plan(numeric.graph, checkpoint_all_schedule(numeric.graph))
+        result = execute_plan(numeric, plan)
+        for node, value in reference.outputs.items():
+            if node in result.outputs:
+                np.testing.assert_allclose(result.outputs[node], value)
+        assert result.outputs[numeric.graph.terminal_node] == pytest.approx(
+            reference.outputs[numeric.graph.terminal_node])
+
+
+class TestRematerializedExecution:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lazy_schedule_matches_reference(self, seed):
+        numeric = make_numeric_dag(num_nodes=9, width=6, seed=seed)
+        reference = execute_checkpoint_all(numeric)
+        plan = generate_execution_plan(numeric.graph,
+                                       checkpoint_last_node_schedule(numeric.graph))
+        result = execute_plan(numeric, plan)
+        np.testing.assert_allclose(result.outputs[numeric.graph.terminal_node],
+                                   reference.outputs[numeric.graph.terminal_node])
+        assert result.num_compute > reference.num_compute
+
+    def test_ilp_schedule_matches_reference_and_saves_memory(self):
+        numeric = make_numeric_chain(num_layers=8, width=16, seed=2)
+        graph = numeric.graph
+        reference = execute_checkpoint_all(numeric)
+
+        budget = tight_budget(graph, 0.55)
+        solved = solve_ilp_rematerialization(graph, budget)
+        assert solved.feasible
+        result = execute_plan(numeric, solved.plan)
+        np.testing.assert_allclose(result.outputs[graph.terminal_node],
+                                   reference.outputs[graph.terminal_node])
+        assert result.peak_live_bytes <= reference.peak_live_bytes
+
+    def test_approx_schedule_matches_reference(self):
+        numeric = make_numeric_chain(num_layers=8, width=16, seed=4)
+        graph = numeric.graph
+        reference = execute_checkpoint_all(numeric)
+        solved = solve_approx_lp_rounding(graph, tight_budget(graph, 0.6))
+        assert solved.feasible
+        result = execute_plan(numeric, solved.plan)
+        np.testing.assert_allclose(result.outputs[graph.terminal_node],
+                                   reference.outputs[graph.terminal_node])
+
+    def test_compute_counts_reported(self):
+        numeric = make_numeric_chain(num_layers=5, width=4)
+        plan = generate_execution_plan(numeric.graph,
+                                       checkpoint_last_node_schedule(numeric.graph))
+        result = execute_plan(numeric, plan)
+        assert sum(result.compute_counts.values()) == result.num_compute
+        assert max(result.compute_counts.values()) > 1  # something was rematerialized
+
+    def test_record_outputs_subset(self):
+        numeric = make_numeric_chain(num_layers=4, width=4)
+        plan = generate_execution_plan(numeric.graph, checkpoint_all_schedule(numeric.graph))
+        result = execute_plan(numeric, plan, record_outputs=[numeric.graph.terminal_node])
+        assert set(result.outputs) == {numeric.graph.terminal_node}
+
+    def test_bad_plan_raises(self):
+        from repro.core.plan import AllocateRegister, ComputeNode, ExecutionPlan
+        numeric = make_numeric_chain(num_layers=3, width=4)
+        plan = ExecutionPlan()
+        plan.append(AllocateRegister(0, 2, 4))
+        plan.append(ComputeNode(0, 2))  # parent value missing
+        with pytest.raises(PlanSimulationError):
+            execute_plan(numeric, plan)

@@ -1,0 +1,153 @@
+"""Tests for the MILP formulation and the optimal ILP solver."""
+
+import numpy as np
+import pytest
+
+from conftest import ample_budget, tight_budget
+
+from repro.core import (
+    checkpoint_all_schedule,
+    schedule_compute_cost,
+    schedule_peak_memory,
+    validate_correctness_constraints,
+)
+from repro.solvers import (
+    InfeasibleBudgetError,
+    MILPFormulation,
+    solve_branch_and_bound,
+    solve_ilp_rematerialization,
+    solve_lp_relaxation,
+)
+
+
+class TestFormulation:
+    def test_variable_counts_frontier(self, chain5_train):
+        f = MILPFormulation(chain5_train, ample_budget(chain5_train))
+        n = chain5_train.size
+        assert len(f.r_index) == n * (n + 1) // 2
+        assert len(f.s_index) == n * (n - 1) // 2
+        assert len(f.u_index) == n * (n + 1) // 2
+        assert f.num_variables == (len(f.r_index) + len(f.s_index)
+                                   + len(f.free_index) + len(f.u_index))
+
+    def test_variable_counts_unpartitioned(self, chain5_train):
+        n = chain5_train.size
+        f = MILPFormulation(chain5_train, ample_budget(chain5_train),
+                            frontier_advancing=False, num_stages=n)
+        assert len(f.r_index) == n * n
+        assert len(f.free_index) == n * chain5_train.num_edges
+
+    def test_describe_mentions_dimensions(self, chain5_train):
+        f = MILPFormulation(chain5_train, ample_budget(chain5_train))
+        assert "vars=" in f.describe()
+
+    def test_budget_below_overhead_rejected(self, tiny_vgg_train):
+        with pytest.raises(InfeasibleBudgetError):
+            MILPFormulation(tiny_vgg_train, tiny_vgg_train.constant_overhead - 1)
+
+    def test_frontier_requires_full_stage_count(self, chain5_train):
+        with pytest.raises(ValueError):
+            MILPFormulation(chain5_train, ample_budget(chain5_train), num_stages=3)
+
+    def test_build_shapes_consistent(self, chain5_train):
+        f = MILPFormulation(chain5_train, ample_budget(chain5_train))
+        arrays = f.build()
+        assert arrays.A.shape[1] == f.num_variables
+        assert arrays.A.shape[0] == len(arrays.constraint_lb) == len(arrays.constraint_ub)
+        assert arrays.c.shape == arrays.lb.shape == arrays.ub.shape
+
+    def test_decode_checkpoint_all_roundtrip(self, chain5_train):
+        f = MILPFormulation(chain5_train, ample_budget(chain5_train))
+        x = np.zeros(f.num_variables)
+        m = checkpoint_all_schedule(chain5_train)
+        for (t, i), idx in f.r_index.items():
+            x[idx] = m.R[t, i]
+        for (t, i), idx in f.s_index.items():
+            x[idx] = m.S[t, i]
+        decoded = f.decode_matrices(x)
+        assert np.array_equal(decoded.R, m.R)
+        assert np.array_equal(decoded.S, m.S)
+        assert f.objective_value(x) == pytest.approx(chain5_train.total_cost())
+
+
+class TestILPOptimality:
+    def test_ample_budget_no_recomputation(self, varied_chain_train):
+        result = solve_ilp_rematerialization(varied_chain_train,
+                                             ample_budget(varied_chain_train))
+        assert result.feasible
+        assert result.compute_cost == pytest.approx(varied_chain_train.total_cost())
+        assert result.overhead == pytest.approx(1.0)
+
+    def test_schedule_is_valid_and_within_budget(self, varied_chain_train):
+        budget = tight_budget(varied_chain_train, 0.6)
+        result = solve_ilp_rematerialization(varied_chain_train, budget)
+        assert result.feasible
+        assert validate_correctness_constraints(varied_chain_train, result.matrices) == []
+        assert schedule_peak_memory(varied_chain_train, result.matrices) <= budget
+
+    def test_cost_monotone_in_budget(self, varied_chain_train):
+        budgets = [tight_budget(varied_chain_train, f) for f in (0.9, 0.7, 0.58)]
+        costs = []
+        for b in budgets:
+            r = solve_ilp_rematerialization(varied_chain_train, b)
+            if r.feasible:
+                costs.append(r.compute_cost)
+        assert len(costs) >= 2
+        assert all(costs[i] <= costs[i + 1] + 1e-9 for i in range(len(costs) - 1))
+        assert costs[-1] > varied_chain_train.total_cost()
+
+    def test_never_cheaper_than_checkpoint_all(self, chain5_train):
+        result = solve_ilp_rematerialization(chain5_train, tight_budget(chain5_train, 0.7))
+        assert result.compute_cost >= chain5_train.total_cost() - 1e-9
+
+    def test_infeasible_budget_reported(self, chain5_train):
+        result = solve_ilp_rematerialization(chain5_train, chain5_train.constant_overhead + 1)
+        assert not result.feasible
+        assert result.matrices is None
+
+    def test_budget_below_overhead_reported(self, tiny_vgg_train):
+        result = solve_ilp_rematerialization(tiny_vgg_train, 1)
+        assert not result.feasible
+        assert "infeasible-budget" in result.solver_status
+
+    def test_diamond_graph_optimal(self, diamond_train):
+        result = solve_ilp_rematerialization(diamond_train, tight_budget(diamond_train, 0.6))
+        assert result.feasible
+        assert validate_correctness_constraints(diamond_train, result.matrices) == []
+
+    def test_plan_generated_and_consistent(self, varied_chain_train):
+        budget = tight_budget(varied_chain_train, 0.6)
+        result = solve_ilp_rematerialization(varied_chain_train, budget)
+        assert result.plan is not None
+        assert result.plan.total_computations() == int(result.matrices.R.sum())
+
+    def test_unpartitioned_matches_partitioned_on_tiny_instance(self, chain5_train):
+        budget = tight_budget(chain5_train, 0.6)
+        part = solve_ilp_rematerialization(chain5_train, budget, frontier_advancing=True)
+        unpart = solve_ilp_rematerialization(chain5_train, budget, frontier_advancing=False,
+                                             time_limit_s=120)
+        assert part.feasible and unpart.feasible
+        # The frontier-advancing feasible set is a subset of the unpartitioned
+        # one, so the unpartitioned optimum can only be as good or better.
+        assert unpart.compute_cost <= part.compute_cost + 1e-6
+
+
+class TestCrossSolverAgreement:
+    def test_branch_and_bound_matches_highs(self):
+        from repro.autodiff import make_training_graph
+        from repro.core import linear_graph
+        graph = make_training_graph(linear_graph(3, cost=[1, 3, 2], memory=[2, 1, 3]))
+        budget = tight_budget(graph, 0.75)
+        highs = solve_ilp_rematerialization(graph, budget)
+        assert highs.feasible
+        formulation = MILPFormulation(graph, budget)
+        bnb = solve_branch_and_bound(formulation.build(), max_nodes=2000)
+        assert bnb.x is not None and bnb.proven_optimal
+        assert formulation.objective_value(bnb.x) == pytest.approx(highs.compute_cost, rel=1e-6)
+
+    def test_lp_relaxation_lower_bounds_ilp(self, varied_chain_train):
+        budget = tight_budget(varied_chain_train, 0.65)
+        lp = solve_lp_relaxation(varied_chain_train, budget)
+        ilp = solve_ilp_rematerialization(varied_chain_train, budget)
+        assert lp.feasible and ilp.feasible
+        assert lp.objective <= ilp.compute_cost + 1e-6

@@ -1,0 +1,197 @@
+"""Tests for layer arithmetic and the architecture zoo."""
+
+import pytest
+
+from repro.core.graph_utils import is_topological_order
+from repro.models import (
+    MODEL_REGISTRY,
+    densenet,
+    fcn8,
+    get_model,
+    linear_cnn,
+    linear_mlp,
+    mobilenet_v1,
+    resnet50,
+    resnet_tiny,
+    segnet,
+    unet,
+    vgg16,
+    vgg19,
+)
+from repro.models import layers as L
+from repro.models.builder import INPUT, LayerGraphBuilder
+
+
+class TestLayerMath:
+    def test_conv_same_padding_shape(self):
+        assert L.conv2d_output_shape((3, 32, 32), 16, 3, 1, "same") == (16, 32, 32)
+
+    def test_conv_stride_shape(self):
+        assert L.conv2d_output_shape((3, 32, 32), 16, 3, 2, "same") == (16, 16, 16)
+
+    def test_conv_valid_padding_shape(self):
+        assert L.conv2d_output_shape((3, 32, 32), 8, 5, 1, "valid") == (8, 28, 28)
+
+    def test_conv_collapse_raises(self):
+        with pytest.raises(ValueError):
+            L.conv2d_output_shape((3, 2, 2), 8, 5, 1, "valid")
+
+    def test_conv_flops_formula(self):
+        flops = L.conv2d_flops((3, 32, 32), (16, 32, 32), 3)
+        assert flops == 2 * 3 * 9 * 16 * 32 * 32
+
+    def test_conv_params(self):
+        assert L.conv2d_params(3, 16, 3, bias=True) == 3 * 16 * 9 + 16
+        assert L.conv2d_params(3, 16, 3, bias=False) == 3 * 16 * 9
+
+    def test_depthwise_flops_smaller_than_full(self):
+        inp, out = (32, 16, 16), (32, 16, 16)
+        assert L.depthwise_conv2d_flops(inp, out, 3) < L.conv2d_flops(inp, out, 3)
+
+    def test_pooling_shape_and_flops(self):
+        assert L.pool2d_output_shape((8, 32, 32), 2) == (8, 16, 16)
+        assert L.pool2d_flops((8, 16, 16), 2) == 8 * 16 * 16 * 4
+
+    def test_dense_formulas(self):
+        assert L.dense_flops(100, 10) == 2000
+        assert L.dense_params(100, 10) == 1010
+
+    def test_concat_shape(self):
+        assert L.concat_output_shape([(4, 8, 8), (6, 8, 8)]) == (10, 8, 8)
+
+    def test_concat_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            L.concat_output_shape([(4, 8, 8), (4, 4, 4)])
+
+    def test_upsample_shape(self):
+        assert L.upsample_output_shape((4, 8, 8), 2) == (4, 16, 16)
+
+    def test_numel(self):
+        assert L.numel((3, 4, 5)) == 60
+
+
+class TestBuilder:
+    def test_unknown_parent_rejected(self):
+        b = LayerGraphBuilder("t", (3, 8, 8), 1)
+        with pytest.raises(ValueError):
+            b.conv("c", 5, 4)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            LayerGraphBuilder("t", (3, 8, 8), 0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            LayerGraphBuilder("t", (3, 8, 8), 1).build()
+
+    def test_memory_scales_with_batch(self):
+        def build(batch):
+            b = LayerGraphBuilder("t", (3, 8, 8), batch)
+            b.conv("c", INPUT, 4)
+            return b.build()
+        assert build(4).memory(0) == 4 * build(1).memory(0)
+
+    def test_add_shape_mismatch_rejected(self):
+        b = LayerGraphBuilder("t", (3, 8, 8), 1)
+        c1 = b.conv("c1", INPUT, 4)
+        c2 = b.conv("c2", INPUT, 8)
+        with pytest.raises(ValueError):
+            b.add("bad", [c1, c2])
+
+    def test_meta_populated(self):
+        b = LayerGraphBuilder("t", (3, 8, 8), 2)
+        b.conv("c", INPUT, 4)
+        g = b.build()
+        assert g.meta["batch_size"] == 2
+        assert g.meta["op_types"] == ["conv2d"]
+        assert g.meta["shapes"] == [(4, 8, 8)]
+        assert g.parameter_memory == (3 * 4 * 9 + 4) * 4
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_registry_models_build(self, name):
+        kwargs = {"batch_size": 1}
+        if name in ("unet", "fcn8", "segnet"):
+            kwargs["resolution"] = (64, 64)
+        elif name in ("linear_mlp",):
+            kwargs["hidden_sizes"] = [16, 16, 16]
+        elif name not in ("linear_cnn",):
+            kwargs["resolution"] = 32
+        if name in ("densenet121", "densenet161"):
+            pytest.skip("large DenseNets are exercised separately")
+        graph = MODEL_REGISTRY[name](**kwargs)
+        assert graph.size > 3
+        assert is_topological_order(graph)
+        assert graph.sinks() == [graph.terminal_node]
+
+    def test_get_model_normalizes_names(self):
+        g = get_model("VGG-16", batch_size=1, resolution=32)
+        assert "VGG16" in g.name
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet9000")
+
+    def test_vgg16_vs_vgg19_depth(self):
+        v16 = vgg16(batch_size=1, resolution=32)
+        v19 = vgg19(batch_size=1, resolution=32)
+        assert v19.size > v16.size
+
+    def test_vgg16_parameter_count_plausible(self):
+        # The real VGG16 has ~138M parameters at 224x224 with a 1000-way head.
+        g = vgg16(batch_size=1, resolution=224)
+        params = g.parameter_memory / 4
+        assert 1.2e8 < params < 1.6e8
+
+    def test_vgg16_is_linear(self):
+        assert vgg16(batch_size=1, resolution=32).is_linear_chain()
+
+    def test_mobilenet_is_linear_and_cheaper_than_vgg(self):
+        m = mobilenet_v1(batch_size=1, resolution=64)
+        v = vgg16(batch_size=1, resolution=64)
+        assert m.is_linear_chain()
+        assert m.total_cost() < v.total_cost()
+
+    def test_resnet_has_skip_connections(self):
+        g = resnet_tiny(batch_size=1, resolution=16)
+        assert not g.is_linear_chain()
+        assert any(len(g.predecessors(j)) > 1 for j in range(g.size))
+
+    def test_resnet50_block_count(self):
+        g = resnet50(batch_size=1, resolution=64)
+        adds = [n for n in g.nodes if n.name.endswith("_add")]
+        assert len(adds) == 16  # 3 + 4 + 6 + 3 bottleneck blocks
+
+    def test_unet_skip_concats(self):
+        g = unet(batch_size=1, resolution=(64, 64), base_filters=8, depth=3)
+        concats = [n for n in g.nodes if "skip" in n.name]
+        assert len(concats) == 3
+        assert not g.is_linear_chain()
+
+    def test_fcn8_has_fusions(self):
+        g = fcn8(batch_size=1, resolution=(64, 64))
+        assert any("fuse" in n.name for n in g.nodes)
+        assert not g.is_linear_chain()
+
+    def test_segnet_decoder_mirrors_encoder(self):
+        g = segnet(batch_size=1, resolution=(64, 64), encoder_cfg=[[8, 8], [16, 16]])
+        names = [n.name for n in g.nodes]
+        assert any(name.startswith("enc") for name in names)
+        assert any(name.startswith("dec") for name in names)
+
+    def test_densenet_concat_growth(self):
+        g = densenet([2, 2], "tiny-densenet", growth_rate=4, batch_size=1,
+                     resolution=32, init_channels=8)
+        assert any("concat" in n.name for n in g.nodes)
+
+    def test_linear_builders(self):
+        mlp = linear_mlp([32, 32, 16], batch_size=2)
+        cnn = linear_cnn(num_layers=4, batch_size=1, resolution=16, pool_every=2)
+        assert mlp.is_linear_chain()
+        assert cnn.is_linear_chain()
+
+    def test_activation_memory_grows_with_resolution(self):
+        small = vgg16(batch_size=1, resolution=32)
+        large = vgg16(batch_size=1, resolution=64)
+        assert large.total_activation_memory() > small.total_activation_memory()

@@ -1,0 +1,169 @@
+"""Tests for execution plans, schedule matrices and correctness validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocateRegister,
+    ComputeNode,
+    DeallocateRegister,
+    ExecutionPlan,
+    PlanError,
+    ScheduleMatrices,
+    checkpoint_all_schedule,
+    checkpoint_last_node_schedule,
+    linear_graph,
+    schedule_compute_cost,
+    validate_correctness_constraints,
+)
+
+
+class TestExecutionPlan:
+    def make_plan(self):
+        plan = ExecutionPlan(graph_name="g")
+        plan.append(AllocateRegister(0, 0, 16))
+        plan.append(ComputeNode(0, 0))
+        plan.append(AllocateRegister(1, 1, 16))
+        plan.append(ComputeNode(1, 1))
+        plan.append(DeallocateRegister(0, 0))
+        return plan
+
+    def test_lengths_and_counts(self):
+        plan = self.make_plan()
+        assert len(plan) == 5
+        assert plan.total_computations() == 2
+        assert plan.num_allocations() == 2
+        assert plan.num_deallocations() == 1
+        assert plan.compute_counts() == {0: 1, 1: 1}
+        assert plan.computed_nodes() == [0, 1]
+
+    def test_validate_structure_ok(self):
+        self.make_plan().validate_structure()
+
+    def test_compute_into_unallocated_register_fails(self):
+        plan = ExecutionPlan()
+        plan.append(ComputeNode(0, 0))
+        with pytest.raises(PlanError):
+            plan.validate_structure()
+
+    def test_register_reuse_fails(self):
+        plan = ExecutionPlan()
+        plan.append(AllocateRegister(0, 0, 4))
+        plan.append(AllocateRegister(0, 1, 4))
+        with pytest.raises(PlanError):
+            plan.validate_structure()
+
+    def test_double_deallocate_fails(self):
+        plan = self.make_plan()
+        plan.append(DeallocateRegister(0, 0))
+        with pytest.raises(PlanError):
+            plan.validate_structure()
+
+    def test_register_node_mismatch_fails(self):
+        plan = ExecutionPlan()
+        plan.append(AllocateRegister(0, 0, 4))
+        plan.append(ComputeNode(0, 1))
+        with pytest.raises(PlanError):
+            plan.validate_structure()
+
+    def test_pretty_truncation(self):
+        text = self.make_plan().pretty(max_lines=2)
+        assert "more statements" in text
+
+    def test_statement_str(self):
+        assert "allocate" in str(AllocateRegister(0, 3, 8))
+        assert "compute" in str(ComputeNode(0, 3))
+        assert "deallocate" in str(DeallocateRegister(0, 3))
+
+
+class TestScheduleMatrices:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleMatrices(np.zeros((3, 3)), np.zeros((2, 3)))
+
+    def test_dimensionality_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleMatrices(np.zeros(3), np.zeros(3))
+
+    def test_counts(self):
+        m = checkpoint_all_schedule(linear_graph(4))
+        assert m.num_stages == 4 and m.num_nodes == 4
+        assert m.total_evaluations() == 4
+        assert list(m.recomputation_counts()) == [1, 1, 1, 1]
+
+    def test_copy_is_independent(self):
+        m = checkpoint_all_schedule(linear_graph(3))
+        c = m.copy()
+        c.R[0, 0] = 0
+        assert m.R[0, 0] == 1
+
+
+class TestCanonicalSchedules:
+    def test_checkpoint_all_is_valid(self, chain5_train):
+        m = checkpoint_all_schedule(chain5_train)
+        assert validate_correctness_constraints(chain5_train, m) == []
+
+    def test_checkpoint_all_cost_is_ideal(self, chain5_train):
+        m = checkpoint_all_schedule(chain5_train)
+        assert schedule_compute_cost(chain5_train, m) == pytest.approx(chain5_train.total_cost())
+
+    def test_checkpoint_last_node_is_valid(self, chain5_train):
+        m = checkpoint_last_node_schedule(chain5_train)
+        assert validate_correctness_constraints(chain5_train, m) == []
+
+    def test_checkpoint_last_node_costs_more(self, chain5_train):
+        lazy = schedule_compute_cost(chain5_train, checkpoint_last_node_schedule(chain5_train))
+        ideal = schedule_compute_cost(chain5_train, checkpoint_all_schedule(chain5_train))
+        assert lazy > ideal
+
+    def test_diamond_checkpoint_all_valid(self, diamond_train):
+        m = checkpoint_all_schedule(diamond_train)
+        assert validate_correctness_constraints(diamond_train, m) == []
+
+
+class TestConstraintValidation:
+    def test_missing_dependency_detected(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        # Break (1b): stage 2 computes node 2 but its parent is neither computed
+        # nor checkpointed.
+        m.S[2, 1] = 0
+        violations = validate_correctness_constraints(chain5, m)
+        assert any("(1b)" in v for v in violations)
+
+    def test_phantom_checkpoint_detected(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        # Break (1c): claim node 3 is checkpointed into stage 2 although it has
+        # never been computed before stage 2.
+        m.S[2, 3] = 1
+        violations = validate_correctness_constraints(chain5, m, frontier_advancing=False)
+        assert any("(1c)" in v for v in violations)
+
+    def test_initial_checkpoint_detected(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        m.S[0, 0] = 1
+        violations = validate_correctness_constraints(chain5, m, frontier_advancing=False)
+        assert any("(1d)" in v for v in violations)
+
+    def test_terminal_never_computed_detected(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        m.R[4, 4] = 0
+        violations = validate_correctness_constraints(chain5, m)
+        assert any("(1e)" in v for v in violations)
+
+    def test_frontier_diagonal_enforced(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        m.R[2, 2] = 0
+        m.R[2, 1] = 1  # keep (1e) satisfied elsewhere
+        violations = validate_correctness_constraints(chain5, m)
+        assert any("(8a)" in v for v in violations)
+
+    def test_upper_triangular_R_detected(self, chain5):
+        m = checkpoint_all_schedule(chain5)
+        m.R[0, 3] = 1
+        violations = validate_correctness_constraints(chain5, m)
+        assert any("(8c)" in v for v in violations)
+
+    def test_wrong_width_reported(self, chain5):
+        m = ScheduleMatrices(np.eye(3, dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+        violations = validate_correctness_constraints(chain5, m)
+        assert violations and "graph size" in violations[0]

@@ -1,0 +1,58 @@
+"""Tests for formatting helpers, the timer and schedule serialization."""
+
+import pytest
+
+from repro.core import checkpoint_all_schedule, linear_graph
+from repro.utils import Timer, format_bytes, format_table, geomean, schedule_from_json, schedule_to_json
+
+
+class TestFormatting:
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 2**30) == "3.00 GiB"
+
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_empty_is_nan(self):
+        import math
+        assert math.isnan(geomean([]))
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [[1, 2], ["xyz", "w"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # fixed width rows
+
+
+class TestTimer:
+    def test_timer_elapsed_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        g = linear_graph(5)
+        m = checkpoint_all_schedule(g)
+        payload = schedule_to_json(g, m, strategy="checkpoint_all")
+        restored = schedule_from_json(payload, g)
+        assert (restored.R == m.R).all()
+        assert (restored.S == m.S).all()
+
+    def test_graph_mismatch_detected(self):
+        g5, g7 = linear_graph(5), linear_graph(7)
+        payload = schedule_to_json(g5, checkpoint_all_schedule(g5))
+        with pytest.raises(ValueError):
+            schedule_from_json(payload, g7)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_from_json('{"format": "something-else"}')
