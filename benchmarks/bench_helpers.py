@@ -1,0 +1,22 @@
+"""Importable helpers for the benchmark harness.
+
+Kept outside ``conftest.py`` so benchmark modules never do ``from conftest
+import ...`` -- conftest basenames are not unique across rootdirs and the
+import used to resolve against whichever directory came first on ``sys.path``
+(shadowing ``tests/conftest.py`` and vice versa).
+"""
+
+from __future__ import annotations
+
+GiB = 2**30
+MiB = 2**20
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Solver-backed experiments are too expensive to repeat for statistical
+    timing, and their value here is the regenerated artifact rather than the
+    wall-clock distribution.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -15,19 +15,21 @@ import pytest
 
 from repro.cost_model import FlopCostModel, ProfileCostModel
 from repro.experiments import build_training_graph
-
-GiB = 2**30
-MiB = 2**20
+from repro.service import get_default_service
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing.
+@pytest.fixture(scope="session")
+def solve_service():
+    """One solve service for the whole harness.
 
-    Solver-backed experiments are too expensive to repeat for statistical
-    timing, and their value here is the regenerated artifact rather than the
-    wall-clock distribution.
+    Returns the process-wide default service -- the same one experiments fall
+    back to when called with ``service=None`` -- so every figure runs against
+    a single plan cache and no cell is ever solved twice in a session.  As
+    currently parameterized the figures use different cost models / budget
+    grids, so cross-figure cache hits are rare; the shared service still
+    dedupes repeats within a figure and keeps the plumbing uniform.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return get_default_service()
 
 
 @pytest.fixture(scope="session")

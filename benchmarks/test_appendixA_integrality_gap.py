@@ -1,6 +1,6 @@
 """Appendix A: integrality gap and solve time, partitioned vs unpartitioned MILP."""
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.experiments import integrality_gap_experiment
 

@@ -1,6 +1,6 @@
 """Figure 1: memory over time, retain-all vs rematerialized (32-layer network)."""
 
-from conftest import MiB, run_once
+from bench_helpers import MiB, run_once
 
 from repro.autodiff import make_training_graph
 from repro.cost_model import ProfileCostModel

@@ -1,6 +1,6 @@
 """Figure 3: feature memory dominates parameter memory across architectures."""
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.experiments.memory_breakdown import format_memory_breakdown, memory_breakdown_table
 from repro.models import fcn8, mobilenet_v1, resnet50, segnet, unet, vgg19

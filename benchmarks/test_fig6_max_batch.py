@@ -1,6 +1,6 @@
 """Figure 6: maximum batch size at <=1 extra forward pass of overhead."""
 
-from conftest import MiB, run_once
+from bench_helpers import MiB, run_once
 
 from repro.experiments.max_batch import format_max_batch, max_batch_experiment
 from repro.models import mobilenet_v1, unet, vgg19
@@ -12,14 +12,14 @@ BUDGET = 1024 * MiB
 STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "linearized_greedy", "checkmate_approx")
 
 
-def test_fig6_max_batch(benchmark):
+def test_fig6_max_batch(benchmark, solve_service):
     models = {
         "VGG19": lambda b: vgg19(batch_size=b, resolution=64),
         "MobileNet": lambda b: mobilenet_v1(batch_size=b, resolution=64),
         "U-Net": lambda b: unet(batch_size=b, resolution=(96, 128), base_filters=16, depth=3),
     }
     results = run_once(benchmark, max_batch_experiment, models, budget=BUDGET,
-                       strategies=STRATEGIES, max_batch=1024)
+                       strategies=STRATEGIES, max_batch=1024, service=solve_service)
 
     print(f"\n[Figure 6] max batch size at {BUDGET / MiB:.0f} MiB, cost cap = 1 extra forward pass")
     print(format_max_batch(results))

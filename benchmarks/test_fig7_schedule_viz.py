@@ -1,6 +1,6 @@
 """Figure 7: R-matrix schedule visualizations for VGG19."""
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.cost_model import FlopCostModel
 from repro.experiments import build_training_graph, schedule_visualization

@@ -1,6 +1,6 @@
 """Figure 8 + §5.1: deterministic vs randomized two-phase rounding; naive rounding fails."""
 
-from conftest import MiB, run_once
+from bench_helpers import MiB, run_once
 
 from repro.experiments import naive_rounding_study, rounding_comparison
 from repro.experiments.budget_sweep import budget_grid

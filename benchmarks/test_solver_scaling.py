@@ -8,7 +8,7 @@ polynomially while staying near-optimal.
 
 import pytest
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.autodiff import make_training_graph
 from repro.cost_model import ProfileCostModel

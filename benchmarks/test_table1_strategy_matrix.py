@@ -1,6 +1,6 @@
 """Table 1: qualitative capability matrix of rematerialization strategies."""
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.baselines import STRATEGIES
 from repro.experiments import format_strategy_matrix, strategy_matrix_rows

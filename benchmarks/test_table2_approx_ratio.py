@@ -1,6 +1,6 @@
 """Table 2: approximation ratios of heuristics and LP rounding vs the optimal ILP."""
 
-from conftest import run_once
+from bench_helpers import run_once
 
 from repro.experiments import approximation_ratio_table, format_ratio_table
 
@@ -8,14 +8,17 @@ STRATEGIES = ("ap_sqrt_n", "ap_greedy", "griewank_logn", "checkmate_approx")
 
 
 def test_table2_approximation_ratios(benchmark, vgg16_flop_graph, mobilenet_flop_graph,
-                                     unet_flop_graph):
+                                     unet_flop_graph, solve_service):
     graphs = {
         "MobileNet": mobilenet_flop_graph,
         "VGG16": vgg16_flop_graph,
         "U-Net": unet_flop_graph,
     }
+    # parallel=False for reproducible time-limited ILP denominators (see the
+    # note in test_fig5_budget_sweep.py).
     rows = run_once(benchmark, approximation_ratio_table, graphs,
-                    strategies=STRATEGIES, num_budgets=3, ilp_time_limit_s=90)
+                    strategies=STRATEGIES, num_budgets=3, ilp_time_limit_s=90,
+                    service=solve_service, parallel=False)
 
     print("\n[Table 2] geometric-mean cost ratio vs optimal ILP (feasible budgets)")
     print(format_ratio_table(rows, STRATEGIES))

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core import checkpoint_all_schedule, generate_execution_plan
 from repro.execution import execute_checkpoint_all, execute_plan, make_numeric_dag
-from repro.solvers import solve_ilp_rematerialization
+from repro.service import SolveService, SolverOptions
 from repro.utils import format_bytes
 
 
@@ -28,9 +28,11 @@ def main() -> None:
     print(f"checkpoint-all execution: {reference.num_compute} computes, "
           f"peak {format_bytes(reference.peak_live_bytes)}")
 
-    # Ask for a schedule using roughly half the activation memory.
+    # Ask for a schedule using roughly half the activation memory.  Custom
+    # graphs go through the same solve service as the bundled architectures.
     budget = int(graph.constant_overhead + 0.55 * graph.total_activation_memory())
-    result = solve_ilp_rematerialization(graph, budget, time_limit_s=60)
+    result = SolveService().solve(graph, "checkmate_ilp", budget,
+                                  SolverOptions(time_limit_s=60))
     if not result.feasible:
         raise SystemExit("budget too tight for this graph")
 

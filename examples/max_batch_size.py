@@ -13,6 +13,7 @@ import argparse
 from repro.cost_model import FlopCostModel
 from repro.experiments.max_batch import format_max_batch, max_batch_experiment
 from repro.models import mobilenet_v1, unet, vgg19
+from repro.service import SolveService
 
 STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "linearized_greedy", "checkmate_approx")
 
@@ -35,11 +36,17 @@ def main() -> None:
                                 base_filters=16, depth=3),
     }
 
+    # Each (model, strategy) search runs in parallel through the solve service;
+    # every feasibility probe of the binary search lands in the plan cache.
+    service = SolveService()
     results = max_batch_experiment(models, budget=budget, strategies=STRATEGIES,
-                                   cost_model=FlopCostModel(), max_batch=args.max_batch)
+                                   cost_model=FlopCostModel(), max_batch=args.max_batch,
+                                   service=service)
     print(f"maximum batch size within {args.budget_gib:.1f} GiB "
           f"and at most one extra forward pass\n")
     print(format_max_batch(results))
+    print(f"({service.stats.solver_calls} solver calls, "
+          f"{service.stats.cache_hits} cache hits)\n")
 
     for model in models:
         rows = {r.strategy: r for r in results if r.model == model}

@@ -13,11 +13,11 @@ Run:  python examples/quickstart.py
 
 from repro import (
     ProfileCostModel,
+    SolveService,
+    SolverOptions,
     make_training_graph,
     simulate_plan,
-    solve_ilp_rematerialization,
 )
-from repro.baselines import solve_checkpoint_all
 from repro.models import vgg16
 from repro.utils import format_bytes
 
@@ -34,17 +34,33 @@ def main() -> None:
     graph = ProfileCostModel().apply(graph)
     print(graph.summary())
 
+    # All strategies are driven through the unified solve service: one registry,
+    # one typed options bag, and a content-addressed plan cache (re-running this
+    # script with an on-disk cache would skip the MILP solve entirely).
+    service = SolveService()
+
     # The framework-default policy: keep every activation until its gradient.
-    baseline = solve_checkpoint_all(graph)
+    baseline = service.solve(graph, "checkpoint_all")
     print(f"checkpoint-all: peak memory {format_bytes(baseline.peak_memory)}, "
           f"iteration cost {baseline.compute_cost * 1e3:.2f} ms")
 
-    # 3. Ask Checkmate for a schedule that fits in ~60% of that footprint.
-    budget = int(graph.constant_overhead
-                 + 0.6 * (baseline.peak_memory - graph.constant_overhead))
-    result = solve_ilp_rematerialization(graph, budget, time_limit_s=120)
-    if not result.feasible:
-        raise SystemExit(f"no feasible schedule at {format_bytes(budget)}")
+    # 3. Ask Checkmate for the tightest feasible budget among a few fractions
+    #    of the reducible (above-constant-overhead) footprint.  Infeasible
+    #    probes are cheap: HiGHS proves infeasibility quickly, and every probe
+    #    lands in the plan cache.
+    fractions = (0.6, 0.7, 0.8, 0.85, 0.9)
+    result = None
+    for fraction in fractions:
+        budget = int(graph.constant_overhead
+                     + fraction * (baseline.peak_memory - graph.constant_overhead))
+        print(f"  trying {format_bytes(budget)} "
+              f"({fraction:.0%} of reducible peak)...")
+        result = service.solve(graph, "checkmate_ilp", budget,
+                               SolverOptions(time_limit_s=120))
+        if result.feasible:
+            break
+    if result is None or not result.feasible:
+        raise SystemExit(f"no feasible schedule up to {format_bytes(budget)}")
 
     print(f"checkmate ILP:  peak memory {format_bytes(result.peak_memory)} "
           f"(budget {format_bytes(budget)}), iteration cost "

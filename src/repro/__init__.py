@@ -13,7 +13,9 @@ The public API mirrors the system's pipeline:
 2. solve for a schedule with the optimal MILP
    (:func:`repro.solvers.solve_ilp_rematerialization`), the LP-rounding
    approximation (:func:`repro.solvers.solve_approx_lp_rounding`) or one of
-   the baseline heuristics (:mod:`repro.baselines`);
+   the baseline heuristics (:mod:`repro.baselines`) -- or drive any of them
+   uniformly through the solve service (:mod:`repro.service`), which adds a
+   content-addressed plan cache and parallel (strategy, budget) sweeps;
 3. lower the schedule to an execution plan, simulate its memory profile
    (:mod:`repro.core`) or execute it over NumPy tensors
    (:mod:`repro.execution`);
@@ -54,6 +56,17 @@ from .cost_model import (
     UniformCostModel,
     memory_breakdown,
 )
+from .service import (
+    PlanCache,
+    SolveService,
+    SolverOptions,
+    SolverRegistry,
+    SolverSpec,
+    SweepCell,
+    default_registry,
+    get_default_service,
+    graph_content_hash,
+)
 from .solvers import (
     MILPFormulation,
     solve_approx_lp_rounding,
@@ -88,6 +101,15 @@ __all__ = [
     "ProfileCostModel",
     "UniformCostModel",
     "memory_breakdown",
+    "PlanCache",
+    "SolveService",
+    "SolverOptions",
+    "SolverRegistry",
+    "SolverSpec",
+    "SweepCell",
+    "default_registry",
+    "get_default_service",
+    "graph_content_hash",
     "MILPFormulation",
     "solve_approx_lp_rounding",
     "solve_ilp_rematerialization",

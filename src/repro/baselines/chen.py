@@ -120,7 +120,7 @@ def solve_chen_sqrt_n(
         peak = schedule_peak_memory(graph, matrices)
     feasible = budget is None or peak <= budget
     return build_scheduled_result(
-        strategy_name, graph, matrices, budget=int(budget) if budget else None,
+        strategy_name, graph, matrices, budget=int(budget) if budget is not None else None,
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
         extra={"checkpoints": sorted(ckpts)},
@@ -160,7 +160,7 @@ def solve_chen_greedy(
                               "num_checkpoints": len(ckpts)})
             fits = budget is None or peak <= budget
             candidate = build_scheduled_result(
-                strategy_name, graph, matrices, budget=int(budget) if budget else None,
+                strategy_name, graph, matrices, budget=int(budget) if budget is not None else None,
                 feasible=fits, solver_status="ok" if fits else "over-budget",
                 generate_plan=False, extra={"segment_budget": float(b),
                                             "checkpoints": sorted(ckpts)},
@@ -174,7 +174,7 @@ def solve_chen_greedy(
     if best is None:
         # No segment budget fit: report the lowest-memory attempt as infeasible.
         return build_scheduled_result(
-            strategy_name, graph, None, budget=int(budget) if budget else None,
+            strategy_name, graph, None, budget=int(budget) if budget is not None else None,
             feasible=False, solve_time_s=timer.elapsed, solver_status="no-feasible-b",
             extra={"search": evaluated},
         )

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.dfgraph import DFGraph
-from ..core.schedule import ScheduledResult
+from ..core.schedule import ScheduledResult, StrategyNotApplicableError
 from ..core.simulator import schedule_peak_memory
 from ..solvers.common import build_scheduled_result
 from ..solvers.min_r import solve_min_r
@@ -132,14 +132,14 @@ def solve_griewank_logn(
 
     Raises
     ------
-    ValueError
+    StrategyNotApplicableError
         If the forward graph is not a linear chain -- like the original
         REVOLVE, this baseline is only defined for path graphs (the paper
         applies it to VGG and MobileNet only).
     """
     n_forward, grad_index = training_graph_metadata(graph)
     if not is_linear_forward_graph(graph):
-        raise ValueError(
+        raise StrategyNotApplicableError(
             "Griewank & Walther's REVOLVE applies only to linear forward graphs; "
             "use the AP or linearized generalizations for non-linear architectures"
         )
@@ -189,7 +189,7 @@ def solve_griewank_logn(
 
     feasible = budget is None or peak <= budget
     return build_scheduled_result(
-        strategy_name, graph, matrices, budget=int(budget) if budget else None,
+        strategy_name, graph, matrices, budget=int(budget) if budget is not None else None,
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
         extra={"slots": slots, "num_snapshots": len(storage)},

@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 import numpy as np
 
 from ..core.dfgraph import DFGraph
-from ..core.schedule import ScheduleMatrices
+from ..core.schedule import ScheduleMatrices, StrategyNotApplicableError
 from ..solvers.min_r import solve_min_r
 
 __all__ = [
@@ -52,7 +52,7 @@ def training_graph_metadata(graph: DFGraph) -> tuple[int, Dict[int, int]]:
     n_forward = graph.meta.get("n_forward")
     grad_index = graph.meta.get("grad_index")
     if n_forward is None or grad_index is None:
-        raise ValueError(
+        raise StrategyNotApplicableError(
             "checkpoint-set baselines require a training graph built by "
             "repro.autodiff.make_training_graph (missing grad_index metadata)"
         )

@@ -72,7 +72,7 @@ def solve_checkpoint_all(graph: DFGraph, budget: Optional[float] = None,
         peak = schedule_peak_memory(graph, matrices)
     feasible = budget is None or peak <= budget
     return build_scheduled_result(
-        "checkpoint-all", graph, matrices, budget=int(budget) if budget else None,
+        "checkpoint-all", graph, matrices, budget=int(budget) if budget is not None else None,
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
     )

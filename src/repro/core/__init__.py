@@ -21,6 +21,7 @@ from .plan import (
 from .schedule import (
     ScheduleMatrices,
     ScheduledResult,
+    StrategyNotApplicableError,
     checkpoint_all_schedule,
     checkpoint_last_node_schedule,
     schedule_compute_cost,
@@ -54,6 +55,7 @@ __all__ = [
     "Statement",
     "ScheduleMatrices",
     "ScheduledResult",
+    "StrategyNotApplicableError",
     "checkpoint_all_schedule",
     "checkpoint_last_node_schedule",
     "schedule_compute_cost",

@@ -27,11 +27,24 @@ from .plan import ExecutionPlan
 __all__ = [
     "ScheduleMatrices",
     "ScheduledResult",
+    "StrategyNotApplicableError",
     "checkpoint_all_schedule",
     "checkpoint_last_node_schedule",
     "validate_correctness_constraints",
     "schedule_compute_cost",
 ]
+
+
+class StrategyNotApplicableError(ValueError):
+    """A strategy does not apply to this graph's structure.
+
+    Raised by linear-only baselines on non-linear graphs and by
+    checkpoint-set heuristics on graphs without training metadata.  The solve
+    service converts exactly this exception into an infeasible
+    ``not-applicable`` result; other ``ValueError``\\ s (misconfigured options,
+    invalid schedules) propagate so misuse is never silently reported as
+    infeasibility.
+    """
 
 
 @dataclass
@@ -204,7 +217,7 @@ class ScheduledResult:
 
     def summary(self) -> str:
         status = "feasible" if self.feasible else f"INFEASIBLE({self.solver_status})"
-        budget = f"{self.budget / 2**30:.2f} GiB" if self.budget else "unbounded"
+        budget = f"{self.budget / 2**30:.2f} GiB" if self.budget is not None else "unbounded"
         return (
             f"{self.strategy:<24s} budget={budget:<12s} cost={self.compute_cost:.4g} "
             f"overhead={self.overhead:.3f}x peak_mem={self.peak_memory / 2**20:.1f} MiB "

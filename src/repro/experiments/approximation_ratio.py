@@ -6,6 +6,11 @@ rounding approximation is from optimal.  The paper reports the geometric mean
 of this ratio across the budgets where both are feasible; the headline result
 is that two-phase deterministic rounding stays within 1.06x of optimal on all
 tested architectures while the heuristics range from 1.06x to 7.07x.
+
+All (strategy, budget) cells -- including the ILP denominators -- are
+independent solves, so they fan out through
+:meth:`repro.service.SolveService.sweep` and the ratios are assembled from the
+deterministically ordered results afterwards.
 """
 
 from __future__ import annotations
@@ -13,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..baselines import STRATEGIES
 from ..core.dfgraph import DFGraph
+from ..service import SolveService, SolverOptions, SweepCell, get_default_service
 from ..utils.formatting import format_table, geomean
 from .budget_sweep import budget_grid
 
@@ -47,6 +52,9 @@ def approximation_ratio_table(
     budgets: Optional[Dict[str, Sequence[int]]] = None,
     num_budgets: int = 4,
     ilp_time_limit_s: float = 120.0,
+    service: Optional[SolveService] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[ApproximationRatioRow]:
     """Compute Table 2 for the given training graphs.
 
@@ -57,24 +65,36 @@ def approximation_ratio_table(
     budgets:
         Optional per-model budget lists; defaults to :func:`budget_grid`.
     """
+    service = service or get_default_service()
+    options = SolverOptions(time_limit_s=ilp_time_limit_s)
+
     rows: List[ApproximationRatioRow] = []
     for model_name, graph in graphs.items():
         model_budgets = list(budgets[model_name]) if budgets and model_name in budgets \
             else budget_grid(graph, num_budgets=num_budgets, high_fraction=0.95)
+
+        # Two-phase dispatch: fan the ILP denominators out first, then solve
+        # the heuristic cells only at budgets where the ILP was feasible --
+        # ratios at infeasible budgets would be discarded anyway, so their
+        # solves are skipped entirely (matching the pre-service loop).
+        ilp_cells = [SweepCell("checkmate_ilp", b) for b in model_budgets]
+        ilp_results = dict(zip(model_budgets,
+                               service.sweep(graph, ilp_cells, options=options,
+                                             parallel=parallel,
+                                             max_workers=max_workers)))
+        usable_budgets = [b for b in model_budgets
+                          if ilp_results[b].feasible and ilp_results[b].compute_cost > 0]
+        cells = [SweepCell(s, b) for b in usable_budgets for s in strategies]
+        results = service.sweep(graph, cells, options=options,
+                                parallel=parallel, max_workers=max_workers)
+        by_cell = {(c.strategy, c.budget): r for c, r in zip(cells, results)}
+
         per_strategy_ratios: Dict[str, List[float]] = {s: [] for s in strategies}
-        evaluated = 0
-        for budget in model_budgets:
-            ilp = STRATEGIES["checkmate_ilp"].solve(graph, budget,
-                                                    time_limit_s=ilp_time_limit_s)
-            if not ilp.feasible or ilp.compute_cost <= 0:
-                continue
-            evaluated += 1
+        evaluated = len(usable_budgets)
+        for budget in usable_budgets:
+            ilp = ilp_results[budget]
             for s in strategies:
-                info = STRATEGIES[s]
-                try:
-                    result = info.solve(graph, budget)
-                except ValueError:
-                    continue
+                result = by_cell[(s, budget)]
                 if result.feasible and result.peak_memory <= budget:
                     per_strategy_ratios[s].append(result.compute_cost / ilp.compute_cost)
         ratios = {s: geomean(v) for s, v in per_strategy_ratios.items() if v}
@@ -86,5 +106,5 @@ def approximation_ratio_table(
 def format_ratio_table(rows: Sequence[ApproximationRatioRow],
                        strategies: Sequence[str] = DEFAULT_RATIO_STRATEGIES) -> str:
     """Text rendering of Table 2."""
-    headers = ["model"] + [STRATEGIES[s].key for s in strategies]
+    headers = ["model"] + list(strategies)
     return format_table(headers, [r.as_row(strategies) for r in rows])

@@ -6,18 +6,25 @@ for VGG16 (batch 256), MobileNet (batch 512) and U-Net (batch 32) against the
 Chen, Griewank and generalized baselines; the takeaway is that Checkmate's
 in-budget solutions have the lowest overhead at every budget, dramatically so
 on the non-linear U-Net.
+
+The sweep is executed through the unified solve service
+(:mod:`repro.service`): independent (strategy, budget) cells fan out over a
+thread pool and repeated cells are answered from the content-addressed plan
+cache.  For solves that run to completion the points are identical to the
+original sequential loop; see :meth:`repro.service.SolveService.sweep` for
+the time-limited-MILP caveat.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import STRATEGIES, StrategyInfo
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
+from ..service import SolveService, SolverOptions, SweepCell, get_default_service
 from ..utils.formatting import format_bytes, format_table
 
 __all__ = ["BudgetSweepPoint", "budget_grid", "budget_sweep", "format_sweep"]
@@ -77,18 +84,16 @@ def budget_grid(graph: DFGraph, num_budgets: int = 6, *, low_fraction: float = 0
     return [int(b) for b in np.linspace(low, high, num=num_budgets)]
 
 
-def _solve_one(info: StrategyInfo, graph: DFGraph, budget: int,
-               ilp_time_limit_s: float) -> ScheduledResult:
-    kwargs: Dict[str, object] = {}
-    if info.key == "checkmate_ilp":
-        kwargs["time_limit_s"] = ilp_time_limit_s
-    try:
-        return info.solve(graph, budget, **kwargs)
-    except ValueError as exc:
-        # e.g. Griewank on a non-linear graph.
-        from ..solvers.common import build_scheduled_result
-        return build_scheduled_result(info.key, graph, None, budget=budget, feasible=False,
-                                      solver_status=f"not-applicable: {exc}")
+def _point_from_result(key: str, budget: int,
+                       result: ScheduledResult) -> BudgetSweepPoint:
+    ok = result.feasible and result.peak_memory <= budget
+    return BudgetSweepPoint(
+        strategy=key, budget=budget, feasible=ok,
+        compute_cost=result.compute_cost if ok else float("inf"),
+        overhead=result.overhead if ok else float("inf"),
+        peak_memory=result.peak_memory if result.matrices is not None else 0,
+        solve_time_s=result.solve_time_s,
+    )
 
 
 def budget_sweep(
@@ -98,45 +103,53 @@ def budget_sweep(
     strategies: Sequence[str] = DEFAULT_SWEEP_STRATEGIES,
     ilp_time_limit_s: float = 120.0,
     skip_linear_only_on_nonlinear: bool = True,
+    service: Optional[SolveService] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[BudgetSweepPoint]:
     """Run the Figure-5 sweep for one training graph.
 
     Strategies without a budget knob (sqrt(n), Griewank, checkpoint-all) are
     solved once and their single point replicated across budgets where it
     fits -- matching how the paper plots them as single markers.
+
+    All cells are dispatched through ``service`` (defaulting to the shared
+    process-wide :class:`~repro.service.SolveService`), so independent solves
+    run in parallel and warm-cache reruns perform no solver invocations.
     """
     from ..baselines.griewank import is_linear_forward_graph
 
+    service = service or get_default_service()
     budgets = list(budgets) if budgets is not None else budget_grid(graph)
     is_linear = is_linear_forward_graph(graph)
+    options = SolverOptions(time_limit_s=ilp_time_limit_s)
 
-    points: List[BudgetSweepPoint] = []
+    # Plan the independent cells first: budget-knob strategies get one cell per
+    # budget, knob-less strategies a single cell at the loosest budget whose
+    # result is replicated across the grid.
+    cells: List[SweepCell] = []
+    plan: List[tuple] = []  # (strategy, budget, cell_index)
     for key in strategies:
-        info = STRATEGIES[key]
-        if info.linear_only and skip_linear_only_on_nonlinear and not is_linear:
+        spec = service.registry.get(key)
+        if spec.linear_only and skip_linear_only_on_nonlinear and not is_linear:
             continue
-        if not info.has_budget_knob:
-            result = _solve_one(info, graph, max(budgets), ilp_time_limit_s)
+        if not spec.has_budget_knob:
+            index = len(cells)
+            cells.append(SweepCell(strategy=key, budget=max(budgets)))
             for budget in budgets:
-                fits = result.feasible and result.peak_memory <= budget
-                points.append(BudgetSweepPoint(
-                    strategy=key, budget=budget, feasible=fits,
-                    compute_cost=result.compute_cost if fits else float("inf"),
-                    overhead=result.overhead if fits else float("inf"),
-                    peak_memory=result.peak_memory, solve_time_s=result.solve_time_s,
-                ))
-            continue
-        for budget in budgets:
-            result = _solve_one(info, graph, budget, ilp_time_limit_s)
-            ok = result.feasible and result.peak_memory <= budget
-            points.append(BudgetSweepPoint(
-                strategy=key, budget=budget, feasible=ok,
-                compute_cost=result.compute_cost if ok else float("inf"),
-                overhead=result.overhead if ok else float("inf"),
-                peak_memory=result.peak_memory if result.matrices is not None else 0,
-                solve_time_s=result.solve_time_s,
-            ))
-    return points
+                plan.append((key, budget, index))
+        else:
+            for budget in budgets:
+                plan.append((key, budget, len(cells)))
+                cells.append(SweepCell(strategy=key, budget=budget))
+
+    results = service.sweep(graph, cells, options=options,
+                            parallel=parallel, max_workers=max_workers)
+    # One assembly path for both kinds of strategy: an infeasible solve has
+    # peak_memory == 0 already, so the "matrices is None" guard inside
+    # _point_from_result is equivalent to the knob-less replication logic.
+    return [_point_from_result(key, budget, results[index])
+            for key, budget, index in plan]
 
 
 def format_sweep(points: Iterable[BudgetSweepPoint]) -> str:

@@ -17,9 +17,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..autodiff import make_training_graph
-from ..baselines import STRATEGIES
 from ..core.dfgraph import DFGraph
 from ..cost_model import CostModel, FlopCostModel
+from ..service import SolveService, SolverOptions, get_default_service, parallel_map
 from ..utils.formatting import format_table
 
 __all__ = ["MaxBatchResult", "max_batch_size", "max_batch_experiment", "cost_cap"]
@@ -55,20 +55,15 @@ def _feasible_at_batch(
     budget: int,
     cost_model: CostModel,
     ilp_time_limit_s: float,
+    service: SolveService,
 ) -> bool:
     """Check whether ``strategy`` trains at ``batch_size`` within budget and cost cap."""
     forward = forward_builder(batch_size)
     graph = cost_model.apply(make_training_graph(forward))
     if graph.constant_overhead >= budget:
         return False
-    info = STRATEGIES[strategy_key]
-    kwargs: Dict[str, object] = {}
-    if strategy_key == "checkmate_ilp":
-        kwargs["time_limit_s"] = ilp_time_limit_s
-    try:
-        result = info.solve(graph, budget, **kwargs)
-    except ValueError:
-        return False
+    result = service.solve(graph, strategy_key, budget,
+                           SolverOptions(time_limit_s=ilp_time_limit_s))
     if not result.feasible or result.peak_memory > budget:
         return False
     return result.compute_cost <= cost_cap(graph) * (1.0 + 1e-9)
@@ -82,17 +77,21 @@ def max_batch_size(
     cost_model: Optional[CostModel] = None,
     max_batch: int = 4096,
     ilp_time_limit_s: float = 60.0,
+    service: Optional[SolveService] = None,
 ) -> int:
     """Binary-search the largest batch size a strategy can train under Eq. (10).
 
     ``forward_builder(batch)`` must return the forward graph at that batch
-    size.  Returns 0 when even batch size 1 is infeasible.
+    size.  Returns 0 when even batch size 1 is infeasible.  Solves go through
+    the plan cache, so probing a batch size the search (or a previous search)
+    has already visited is free.
     """
     cost_model = cost_model or FlopCostModel()
+    service = service or get_default_service()
 
     def feasible(b: int) -> bool:
         return _feasible_at_batch(forward_builder, b, strategy_key, budget,
-                                  cost_model, ilp_time_limit_s)
+                                  cost_model, ilp_time_limit_s, service)
 
     if not feasible(1):
         return 0
@@ -118,21 +117,46 @@ def max_batch_experiment(
     cost_model: Optional[CostModel] = None,
     max_batch: int = 4096,
     ilp_time_limit_s: float = 60.0,
+    service: Optional[SolveService] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[MaxBatchResult]:
     """Run the Figure-6 study over a set of models.
 
     ``models`` maps display names to ``builder(batch_size) -> forward graph``
     callables.  Results include the batch size normalized against the
     checkpoint-all strategy for the same model (the bar heights of Figure 6).
+
+    Each (model, strategy) search is independent; they fan out over a thread
+    pool (the binary search itself stays sequential) and results keep the
+    deterministic (model, strategy) iteration order.
+
+    Reproducibility caveat: with ``checkmate_ilp`` among the strategies, a
+    wall-clock-limited MILP probe can return a different incumbent under
+    parallel CPU contention, and the binary search amplifies one flipped
+    probe into a different max batch -- pass ``parallel=False`` (as the
+    figure benchmarks do for their ILP sweeps) when exact run-to-run
+    reproducibility matters.  The default strategies use only heuristics and
+    the LP rounding, which are deterministic either way.
     """
+    service = service or get_default_service()
+    pairs = [(model_name, builder, strategy)
+             for model_name, builder in models.items() for strategy in strategies]
+
+    def search(pair) -> MaxBatchResult:
+        model_name, builder, strategy = pair
+        best = max_batch_size(builder, strategy, budget=budget, cost_model=cost_model,
+                              max_batch=max_batch, ilp_time_limit_s=ilp_time_limit_s,
+                              service=service)
+        return MaxBatchResult(model=model_name, strategy=strategy,
+                              max_batch_size=best, budget=budget)
+
+    flat = parallel_map(search, pairs, max_workers=max_workers, parallel=parallel,
+                        thread_name_prefix="repro-maxbatch")
+
     results: List[MaxBatchResult] = []
-    for model_name, builder in models.items():
-        per_model: List[MaxBatchResult] = []
-        for strategy in strategies:
-            best = max_batch_size(builder, strategy, budget=budget, cost_model=cost_model,
-                                  max_batch=max_batch, ilp_time_limit_s=ilp_time_limit_s)
-            per_model.append(MaxBatchResult(model=model_name, strategy=strategy,
-                                            max_batch_size=best, budget=budget))
+    for model_name in models:
+        per_model = [r for r in flat if r.model == model_name]
         baseline = next((r.max_batch_size for r in per_model
                          if r.strategy == "checkpoint_all"), None)
         for r in per_model:

@@ -18,8 +18,7 @@ from ..core.dfgraph import DFGraph
 from ..core.schedule import checkpoint_all_schedule
 from ..core.scheduler import generate_execution_plan
 from ..core.simulator import MemoryTrace, simulate_plan
-from ..solvers.ilp import solve_ilp_rematerialization
-from ..solvers.approximation import solve_approx_lp_rounding
+from ..service import SolveService, SolverOptions, get_default_service
 
 __all__ = ["MemoryTimeline", "memory_timeline"]
 
@@ -53,6 +52,7 @@ def memory_timeline(
     *,
     use_ilp: bool = True,
     ilp_time_limit_s: float = 60.0,
+    service: Optional[SolveService] = None,
 ) -> MemoryTimeline:
     """Produce the Figure-1 traces for a training graph.
 
@@ -64,6 +64,7 @@ def memory_timeline(
     use_ilp:
         Solve optimally (default) or with the LP-rounding approximation.
     """
+    service = service or get_default_service()
     retain_plan = generate_execution_plan(graph, checkpoint_all_schedule(graph), hoist=False)
     retain_trace = simulate_plan(graph, retain_plan)
 
@@ -71,9 +72,8 @@ def memory_timeline(
         budget = int(graph.constant_overhead
                      + 0.45 * (retain_trace.peak_memory - graph.constant_overhead))
 
-    solver = solve_ilp_rematerialization if use_ilp else solve_approx_lp_rounding
-    kwargs = {"time_limit_s": ilp_time_limit_s} if use_ilp else {}
-    result = solver(graph, budget, **kwargs)
+    result = service.solve(graph, "checkmate_ilp" if use_ilp else "checkmate_approx",
+                           budget, SolverOptions(time_limit_s=ilp_time_limit_s))
 
     remat_trace = None
     if result.feasible and result.plan is not None:

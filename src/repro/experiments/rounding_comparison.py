@@ -16,12 +16,12 @@ from typing import Dict, List, Optional
 from ..core.dfgraph import DFGraph
 from ..core.schedule import checkpoint_all_schedule, schedule_compute_cost
 from ..core.simulator import schedule_peak_memory
+from ..service import SolveService, SolverOptions, get_default_service
 from ..solvers.approximation import (
     randomized_rounding_samples,
     naive_rounding_feasibility,
     solve_approx_lp_rounding,
 )
-from ..solvers.ilp import solve_ilp_rematerialization
 from ..solvers.lp_relaxation import solve_lp_relaxation
 
 __all__ = ["RoundingComparison", "rounding_comparison", "naive_rounding_study"]
@@ -59,8 +59,15 @@ def rounding_comparison(
     include_ilp: bool = True,
     ilp_time_limit_s: float = 120.0,
     seed: int = 0,
+    service: Optional[SolveService] = None,
 ) -> RoundingComparison:
-    """Produce one panel of Figure 8 for a training graph and budget."""
+    """Produce one panel of Figure 8 for a training graph and budget.
+
+    The LP relaxation is solved once and shared by both rounding modes (so it
+    stays a direct call); the independent ILP reference point goes through the
+    solve service and benefits from the plan cache.
+    """
+    service = service or get_default_service()
     ca = checkpoint_all_schedule(graph)
     ca_cost = schedule_compute_cost(graph, ca)
     ca_mem = schedule_peak_memory(graph, ca)
@@ -80,7 +87,8 @@ def rounding_comparison(
 
     ilp_cost = ilp_mem = None
     if include_ilp:
-        ilp = solve_ilp_rematerialization(graph, budget, time_limit_s=ilp_time_limit_s)
+        ilp = service.solve(graph, "checkmate_ilp", budget,
+                            SolverOptions(time_limit_s=ilp_time_limit_s))
         if ilp.feasible:
             ilp_cost, ilp_mem = ilp.compute_cost, ilp.peak_memory
 

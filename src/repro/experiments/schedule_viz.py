@@ -16,9 +16,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import STRATEGIES
 from ..core.dfgraph import DFGraph
-from ..core.schedule import ScheduleMatrices
+from ..core.schedule import ScheduleMatrices, StrategyNotApplicableError
+from ..service import SolveService, SolverOptions, get_default_service
 
 __all__ = ["render_schedule_ascii", "schedule_visualization", "ScheduleVisualization"]
 
@@ -74,16 +74,19 @@ def schedule_visualization(
     strategies: Sequence[str] = ("checkpoint_all", "linearized_greedy", "checkmate_ilp"),
     ilp_time_limit_s: float = 120.0,
     max_width: int = 80,
+    service: Optional[SolveService] = None,
 ) -> ScheduleVisualization:
     """Produce the Figure-7 style comparison for one graph and budget."""
+    service = service or get_default_service()
+    options = SolverOptions(time_limit_s=ilp_time_limit_s)
     renders: Dict[str, str] = {}
     counts: Dict[str, int] = {}
     for key in strategies:
-        info = STRATEGIES[key]
-        kwargs = {"time_limit_s": ilp_time_limit_s} if key == "checkmate_ilp" else {}
         try:
-            result = info.solve(graph, budget, **kwargs)
-        except ValueError:
+            result = service.solve(graph, key, budget, options, strict=True)
+        except StrategyNotApplicableError:
+            # e.g. a linear-only strategy on a non-linear graph: skip the
+            # panel.  Other errors (bad options, invalid schedules) propagate.
             continue
         if result.matrices is None:
             renders[key] = "(infeasible)"

@@ -1,0 +1,221 @@
+"""Content-addressed plan cache: in-memory LRU plus optional on-disk store.
+
+Checkmate's economics make caching unusually profitable: a schedule is solved
+once (seconds to hours of MILP time) and then reused for millions of training
+iterations, and the evaluation harness re-solves the *same* (graph, budget,
+strategy) cells across figures -- the Figure 5 sweep, Table 2 ratios and the
+Figure 8 rounding study all hit overlapping cells.  The cache keys a solve by
+
+``(graph content hash, strategy key, budget, solver-visible options)``
+
+so any reconstruction of the same graph (same costs, memories, edges,
+metadata -- see :func:`~repro.service.hashing.graph_content_hash`) re-uses the
+stored plan.
+
+Two tiers:
+
+* an in-process LRU of :class:`ScheduledResult` objects (``max_entries``
+  bounded, thread safe -- the sweep executor hits it concurrently), and
+* an optional on-disk JSON store (one file per key under ``cache_dir``) built
+  on :mod:`repro.utils.serialization`, which persists the ``(R, S)`` matrices
+  across processes.  Disk hits are re-validated and re-packaged against the
+  caller's graph, so a corrupt or mismatched file degrades to a miss, never to
+  a wrong schedule.
+
+Cached results are shared, not copied: an in-memory hit returns the *same*
+:class:`ScheduledResult` object to every caller (including duplicate cells of
+one sweep), so treat results from the service as immutable -- mutating
+``matrices``/``extra``/``plan`` in place would poison every later hit on that
+key.  Derive variants via ``matrices.copy()`` instead.
+
+Set ``PlanCache(max_entries=0, cache_dir=None)`` -- or pass ``cache=None`` to
+:class:`~repro.service.solve.SolveService` -- to disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult
+from ..utils.serialization import schedule_from_json, schedule_to_json
+
+__all__ = ["PlanCacheKey", "PlanCache"]
+
+_DISK_FORMAT = "repro.service.plan/v1"
+
+
+def _jsonable(value):
+    """Best-effort projection of a result's ``extra`` dict onto plain JSON.
+
+    NumPy scalars become Python numbers and tuples become lists; keys whose
+    values still refuse to serialize are dropped rather than failing the
+    store -- a disk entry with partial ``extra`` beats no disk entry.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            try:
+                json.dumps(converted := _jsonable(v))
+            except (TypeError, ValueError):
+                continue
+            out[str(k)] = converted
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class PlanCacheKey(str):
+    """Opaque cache key: hex digest over (graph, strategy, budget, options)."""
+
+    @staticmethod
+    def build(graph_hash: str, strategy: str, budget: Optional[float],
+              options_token: str) -> "PlanCacheKey":
+        budget_token = "none" if budget is None else repr(float(budget))
+        payload = "\x1f".join((graph_hash, strategy, budget_token, options_token))
+        return PlanCacheKey(hashlib.sha256(payload.encode("utf-8")).hexdigest())
+
+
+class PlanCache:
+    """Bounded LRU of solved plans with optional on-disk persistence."""
+
+    def __init__(self, max_entries: int = 512,
+                 cache_dir: Optional[str] = None) -> None:
+        self.max_entries = int(max_entries)
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, ScheduledResult]" = OrderedDict()
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: PlanCacheKey, graph: DFGraph) -> Optional[ScheduledResult]:
+        """Return a cached result for ``key``, or ``None`` on a miss.
+
+        Checks the in-memory tier first, then the disk tier (promoting disk
+        hits into memory).  ``graph`` is needed to re-materialize disk entries
+        into full :class:`ScheduledResult` objects.  Hit/miss accounting lives
+        in :class:`~repro.service.solve.SolveStats`, not here.
+        """
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                return result
+        result = self._load_from_disk(key, graph)
+        if result is not None:
+            with self._lock:
+                self._put_locked(key, result)
+        return result
+
+    def put(self, key: PlanCacheKey, result: ScheduledResult) -> None:
+        with self._lock:
+            self._put_locked(key, result)
+        self._store_to_disk(key, result)
+
+    def _put_locked(self, key: PlanCacheKey, result: ScheduledResult) -> None:
+        if self.max_entries <= 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk files are left in place)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Disk tier
+    # ------------------------------------------------------------------ #
+    def _path(self, key: PlanCacheKey) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _store_to_disk(self, key: PlanCacheKey, result: ScheduledResult) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            # Payload construction sits inside the guard too: a custom
+            # solver's exotic result fields (solve_time_s=None, odd matrices)
+            # must never fail a solve that already succeeded -- same contract
+            # as a read-only or full cache directory below.
+            payload = {
+                "format": _DISK_FORMAT,
+                "strategy": result.strategy,
+                "budget": result.budget,
+                "feasible": bool(result.feasible),
+                "solver_status": result.solver_status,
+                "solve_time_s": float(result.solve_time_s),
+                "has_plan": result.plan is not None,
+                "extra": _jsonable(result.extra),
+                "schedule": (schedule_to_json(result.graph, result.matrices,
+                                              strategy=result.strategy)
+                             if result.matrices is not None else None),
+            }
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError, AttributeError):
+            pass
+        finally:
+            # After a successful os.replace the tmp path no longer exists;
+            # otherwise (any failure above) remove the partial file.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _load_from_disk(self, key: PlanCacheKey,
+                        graph: DFGraph) -> Optional[ScheduledResult]:
+        path = self._path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        from ..solvers.common import build_scheduled_result
+
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("format") != _DISK_FORMAT:
+                return None
+            matrices = (schedule_from_json(payload["schedule"], graph)
+                        if payload.get("schedule") else None)
+            return build_scheduled_result(
+                payload["strategy"], graph, matrices,
+                budget=payload.get("budget"),
+                feasible=bool(payload.get("feasible")),
+                solve_time_s=float(payload.get("solve_time_s", 0.0)),
+                solver_status=str(payload.get("solver_status", "cached")),
+                generate_plan=bool(payload.get("has_plan", True)),
+                # validate=True: a shape-correct file with wrong R/S content
+                # raises ValueError below and degrades to a miss, upholding the
+                # "never a wrong schedule" promise above.
+                validate=True,
+                extra=payload.get("extra") or {},
+            )
+        except (OSError, ValueError, KeyError):
+            return None

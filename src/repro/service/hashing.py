@@ -1,0 +1,102 @@
+"""Canonical content hashing of :class:`~repro.core.dfgraph.DFGraph`.
+
+The plan cache is *content addressed*: a solve is keyed by what the graph
+**is** (costs, memories, edges, structural metadata), not by how or when it was
+built.  Two independently reconstructed graphs -- e.g. the same model preset
+built in two processes, or a graph round-tripped through a serializer -- hash
+identically, so cached schedules survive process restarts and are shared
+across experiments that rebuild their own graphs.
+
+The hash covers every field that influences a solver's output:
+
+* node names, costs, memories, ``is_backward`` flags and layer ids,
+* the dependency structure (all edges),
+* ``input_memory`` / ``parameter_memory`` (they set the constant overhead of
+  the memory budget, paper Eq. 2),
+* the graph name and the ``meta`` mapping (``grad_index`` et al. steer the
+  baselines' segmenting logic).
+
+Floats are serialized via ``repr`` (shortest round-trip form), so bit-equal
+costs hash equally and any perturbation changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.dfgraph import DFGraph
+
+__all__ = ["graph_content_hash"]
+
+_HASH_ATTR = "_repro_content_hash"
+
+
+def _canonical_meta(value):
+    """Project a free-form ``meta`` value onto a canonical JSON-safe structure.
+
+    ``meta`` is typed ``Dict[str, object]``, so values may be numpy arrays or
+    scalars.  Arrays are expanded to (tag, shape, dtype, full contents) --
+    ``repr`` would truncate large arrays, letting different contents collide
+    -- and everything else is reduced to plain comparable Python types, so
+    the memo-validation equality below can never hit numpy's ambiguous
+    elementwise ``==``.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _canonical_meta(v) for k, v in sorted(value.items(),
+                                                              key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_meta(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return ["__ndarray__", list(value.shape), value.dtype.str, value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    return repr(value)
+
+
+def _canonical_payload(graph: "DFGraph") -> dict:
+    return {
+        "format": "repro.dfgraph/v1",
+        "name": graph.name,
+        "nodes": [
+            [v.name, repr(float(v.cost)), int(v.memory), bool(v.is_backward),
+             v.layer_id]
+            for v in graph.nodes
+        ],
+        "deps": {str(j): list(graph.deps[j]) for j in range(graph.size)},
+        "input_memory": int(graph.input_memory),
+        "parameter_memory": int(graph.parameter_memory),
+        "meta": _canonical_meta(graph.meta),
+    }
+
+
+def graph_content_hash(graph: "DFGraph") -> str:
+    """Return the canonical SHA-256 content digest of a graph (hex string).
+
+    The digest is memoized on the graph instance: nodes, deps and the scalar
+    fields are effectively immutable after ``__post_init__`` and every
+    transformation (``with_costs``, ``scaled``, ``induced_subgraph``...)
+    returns a *new* instance.  The one mutable piece, ``meta``, is snapshotted
+    (in canonical form, so numpy values compare safely) at memoization time
+    and compared on lookup; mutating ``graph.meta`` after a solve therefore
+    invalidates the memo instead of serving a stale cache key.
+    """
+    meta_canonical = _canonical_meta(graph.meta)
+    cached = graph.__dict__.get(_HASH_ATTR)
+    if cached is not None:
+        digest, meta_snapshot = cached
+        if meta_canonical == meta_snapshot:
+            return digest
+    payload = json.dumps(_canonical_payload(graph), sort_keys=True,
+                         separators=(",", ":"), default=repr)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    graph.__dict__[_HASH_ATTR] = (digest, meta_canonical)
+    return digest

@@ -1,0 +1,103 @@
+"""Typed solver options: one immutable bag replacing per-callsite kwarg plumbing.
+
+Before the solve-service layer, every experiment loop special-cased solver
+keyword arguments by hand (``if key == "checkmate_ilp": kwargs["time_limit_s"]
+= ...``).  :class:`SolverOptions` centralizes that: callers describe *all* the
+knobs they care about once, and each registered solver declares -- via its
+``option_map`` -- which of those knobs it understands and under which keyword
+name.  Options a solver does not accept are simply not forwarded, so a single
+``SolverOptions`` value can safely drive a heterogeneous sweep over the whole
+registry.
+
+The class is frozen and canonically serializable (:meth:`cache_token`) so that
+it can participate in content-addressed plan-cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["SolverOptions"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Solver knobs understood by the service layer.
+
+    Every field defaults to ``None`` meaning "use the solver's own default".
+    Only non-``None`` fields that appear in a solver's ``option_map`` are
+    forwarded to the underlying ``solve`` callable.
+
+    Attributes
+    ----------
+    time_limit_s:
+        Wall-clock limit for the MILP solver.
+    lp_time_limit_s:
+        Wall-clock limit for the LP relaxation inside the rounding
+        approximation (defaults to the solver's own generous limit).
+    mip_gap:
+        Relative optimality gap at which the MILP solver may stop.
+    allowance:
+        LP-rounding memory allowance (paper §5.3): the LP is solved at
+        ``(1 - allowance) * budget``.
+    rounding_mode:
+        ``"deterministic"`` or ``"randomized"`` two-phase rounding.
+    num_samples:
+        Number of randomized-rounding samples to draw.
+    seed:
+        RNG seed for randomized rounding.
+    generate_plan:
+        Whether to lower schedules to execution plans (skipping it speeds up
+        large sweeps that only need cost/memory numbers).
+    max_nodes:
+        Node cap for the pure-Python branch-and-bound solver.
+    checkpoints:
+        Explicit checkpoint set for the min-R completion solver.
+    """
+
+    time_limit_s: Optional[float] = None
+    lp_time_limit_s: Optional[float] = None
+    mip_gap: Optional[float] = None
+    allowance: Optional[float] = None
+    rounding_mode: Optional[str] = None
+    num_samples: Optional[int] = None
+    seed: Optional[int] = None
+    generate_plan: Optional[bool] = None
+    max_nodes: Optional[int] = None
+    checkpoints: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoints is not None:
+            object.__setattr__(self, "checkpoints",
+                               tuple(sorted(int(c) for c in self.checkpoints)))
+
+    def replace(self, **changes) -> "SolverOptions":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def kwargs_for(self, option_map: Mapping[str, str]) -> Dict[str, object]:
+        """Project the options onto one solver's keyword arguments.
+
+        ``option_map`` maps :class:`SolverOptions` field names to the keyword
+        names of the target ``solve`` callable; fields that are ``None`` or
+        unmapped are dropped.
+        """
+        kwargs: Dict[str, object] = {}
+        for field_name, kwarg_name in option_map.items():
+            value = getattr(self, field_name)
+            if value is not None:
+                kwargs[kwarg_name] = value
+        return kwargs
+
+    def cache_token(self, option_map: Mapping[str, str]) -> str:
+        """Canonical string of the options *as seen by* one solver.
+
+        Two option bags that project to the same solver kwargs produce the
+        same token, so e.g. changing ``time_limit_s`` does not invalidate
+        cached heuristic solves that never see it.
+        """
+        kwargs = self.kwargs_for(option_map)
+        return json.dumps(kwargs, sort_keys=True, default=repr)

@@ -1,0 +1,298 @@
+"""The unified solve service: cached single solves and parallel sweeps.
+
+Every figure and table in the paper's evaluation reduces to "solve the same
+graph under many (strategy, budget) configurations".  :class:`SolveService` is
+the one entry point for that workload:
+
+* :meth:`SolveService.solve` -- solve one (graph, strategy, budget, options)
+  cell through the unified registry, consulting the content-addressed plan
+  cache first.  A warm cache answers without invoking any solver at all
+  (``stats.solver_calls`` counts real invocations, which is how the tests
+  assert cache effectiveness).
+* :meth:`SolveService.sweep` -- fan a list of independent cells out over a
+  thread pool (``concurrent.futures``) and return results in *cell order*.
+  The underlying HiGHS solves release the GIL, so independent MILP/LP cells
+  genuinely overlap.  For solves that run to completion the results are
+  identical to a sequential run; the one caveat is wall-clock *time-limited*
+  MILP cells, whose incumbent at the limit can differ under CPU contention --
+  pass ``parallel=False`` (or generous limits) when exact sequential
+  reproducibility of time-limited cells matters.
+
+Failure semantics: a strategy raising
+:class:`~repro.core.schedule.StrategyNotApplicableError` (e.g. Griewank on a
+non-linear graph) yields an infeasible ``not-applicable`` result instead of
+aborting the sweep; pass ``strict=True`` to re-raise instead.  Any other
+``ValueError`` -- misconfigured options, an invalid schedule -- always
+propagates, so misuse is never silently reported as infeasibility.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult, StrategyNotApplicableError
+from .cache import PlanCache, PlanCacheKey
+from .hashing import graph_content_hash
+from .options import SolverOptions
+from .registry import SolverRegistry, SolverSpec, default_registry
+
+__all__ = ["SolveStats", "SweepCell", "SolveService", "get_default_service",
+           "set_default_service", "parallel_map"]
+
+
+def parallel_map(fn: Callable, items: Sequence, *, max_workers: Optional[int] = None,
+                 parallel: bool = True,
+                 thread_name_prefix: str = "repro-pool") -> List:
+    """Map ``fn`` over ``items`` on a thread pool, preserving item order.
+
+    The shared fan-out primitive behind :meth:`SolveService.sweep` and the
+    experiment-level parallelism (e.g. ``max_batch_experiment``).  Falls back
+    to a plain sequential loop for a single worker or ``parallel=False``.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = max_workers or min(len(items), os.cpu_count() or 1)
+    if not parallel or workers <= 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix=thread_name_prefix) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass
+class SolveStats:
+    """Counters describing what the service actually did (thread safe).
+
+    ``cache_hits``/``cache_misses`` only count solves that consulted the
+    cache; with caching disabled (``cache=None`` or ``use_cache=False``)
+    neither counter moves.
+    """
+
+    solver_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, *, solver_call: bool, cache_hit: Optional[bool]) -> None:
+        with self._lock:
+            if solver_call:
+                self.solver_calls += 1
+            if cache_hit is True:
+                self.cache_hits += 1
+            elif cache_hit is False:
+                self.cache_misses += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.solver_calls = self.cache_hits = self.cache_misses = 0
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work: a strategy at a budget."""
+
+    strategy: str
+    budget: Optional[float] = None
+    options: Optional[SolverOptions] = None
+
+
+#: Infeasibility verdicts that are deterministic and therefore safe to cache:
+#: proven infeasibility, heuristics whose search exhausted deterministically,
+#: and the (seeded) rounding failing the budget.  Notably absent: the MILP's
+#: bare "time_limit" (no incumbent at the wall-clock limit) and the LP's
+#: "lp-status-*" limits, which are load-dependent.
+_PROVEN_INFEASIBLE_MARKERS = ("infeasible", "over-budget", "no-feasible-b",
+                              "rounding-exceeded-budget")
+
+
+def _cacheable(result: ScheduledResult) -> bool:
+    """Whether a result may be replayed from the cache.
+
+    Feasible schedules are always cacheable (a time-limit incumbent is still a
+    correct schedule).  An *infeasible* verdict is only cacheable when the
+    solver proved it; "no incumbent at the wall-clock limit" is load-dependent,
+    and caching it -- especially on disk -- would replay a transient timeout
+    as permanent infeasibility.
+    """
+    if result.feasible:
+        return True
+    status = result.solver_status
+    return any(marker in status for marker in _PROVEN_INFEASIBLE_MARKERS)
+
+
+_UNSET_CACHE = object()
+
+
+class SolveService:
+    """Registry + cache + executor behind one ``solve``/``sweep`` API.
+
+    Pass ``cache=None`` to disable caching for this service; by default each
+    service owns a fresh in-memory :class:`PlanCache`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SolverRegistry] = None,
+        cache: object = _UNSET_CACHE,
+        *,
+        default_options: Optional[SolverOptions] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.cache: Optional[PlanCache] = (
+            PlanCache() if cache is _UNSET_CACHE else cache  # type: ignore[assignment]
+        )
+        self.default_options = default_options or SolverOptions()
+        self.stats = SolveStats()
+
+    # ------------------------------------------------------------------ #
+    # Single solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        graph: DFGraph,
+        strategy: str,
+        budget: Optional[float] = None,
+        options: Optional[SolverOptions] = None,
+        *,
+        use_cache: bool = True,
+        strict: bool = False,
+    ) -> ScheduledResult:
+        """Solve one cell, answering from the plan cache when possible.
+
+        Treat the returned result as immutable: cache hits hand the same
+        object to every caller, so in-place mutation (of ``matrices``,
+        ``extra``, ``plan``) would corrupt later lookups of the same cell.
+        """
+        spec = self.registry.get(strategy)
+        options = options if options is not None else self.default_options
+
+        key: Optional[PlanCacheKey] = None
+        if use_cache and self.cache is not None:
+            key = PlanCacheKey.build(
+                graph_content_hash(graph), spec.key,
+                budget, options.cache_token(spec.option_map),
+            )
+            cached = self.cache.get(key, graph)
+            if cached is not None:
+                self.stats.record(solver_call=False, cache_hit=True)
+                return cached
+
+        result, applicable = self._invoke(spec, graph, budget, options, strict=strict)
+        self.stats.record(solver_call=True, cache_hit=False if key is not None else None)
+        # "not-applicable" placeholders (the strategy raised before solving) are
+        # never cached: they cost nothing to reproduce, and caching them would
+        # make a later strict=True call return a placeholder instead of raising.
+        if key is not None and applicable and _cacheable(result):
+            self.cache.put(key, result)
+        return result
+
+    def _invoke(self, spec: SolverSpec, graph: DFGraph, budget: Optional[float],
+                options: SolverOptions, *, strict: bool):
+        kwargs = options.kwargs_for(spec.option_map)
+        try:
+            return spec.solve(graph, budget, **kwargs), True
+        except StrategyNotApplicableError as exc:
+            # Only structural inapplicability is converted; any other
+            # ValueError (bad options, invalid schedule) propagates.
+            if strict:
+                raise
+            from ..solvers.common import build_scheduled_result
+            return build_scheduled_result(
+                spec.key, graph, None,
+                budget=int(budget) if budget is not None else None,
+                feasible=False, solver_status=f"not-applicable: {exc}",
+            ), False
+
+    # ------------------------------------------------------------------ #
+    # Parallel fan-out
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        graph: DFGraph,
+        cells: Iterable[Union[SweepCell, Tuple[str, Optional[float]]]],
+        *,
+        options: Optional[SolverOptions] = None,
+        max_workers: Optional[int] = None,
+        parallel: bool = True,
+        use_cache: bool = True,
+        strict: bool = False,
+    ) -> List[ScheduledResult]:
+        """Solve many independent cells, returning results in cell order.
+
+        ``cells`` may be :class:`SweepCell` objects or bare ``(strategy,
+        budget)`` tuples; a per-cell ``options`` overrides the sweep-wide one.
+        With ``parallel=False`` (or a single worker) the cells run strictly
+        sequentially.  For solves that complete (proven optimal/infeasible,
+        heuristics, LPs) parallel results are identical to sequential ones;
+        MILP cells that stop on a wall-clock time limit may return a
+        different incumbent under parallel CPU contention.
+        """
+        normalized: List[SweepCell] = []
+        for cell in cells:
+            if isinstance(cell, SweepCell):
+                normalized.append(cell)
+            else:
+                strategy, budget = cell
+                normalized.append(SweepCell(strategy=strategy, budget=budget))
+        # Fail fast on unknown strategies before any thread spins up.
+        for cell in normalized:
+            self.registry.get(cell.strategy)
+        if not normalized:
+            return []
+
+        # Deduplicate identical cells: concurrent duplicates would all miss
+        # the cold cache and each run the full solve.  SweepCell is frozen
+        # (and options hashable), so effective cells key a dict directly.
+        effective = [cell if cell.options is not None
+                     else SweepCell(cell.strategy, cell.budget, options)
+                     for cell in normalized]
+        unique: List[SweepCell] = []
+        index_of: dict = {}
+        for cell in effective:
+            if cell not in index_of:
+                index_of[cell] = len(unique)
+                unique.append(cell)
+
+        def solve_cell(cell: SweepCell) -> ScheduledResult:
+            return self.solve(graph, cell.strategy, cell.budget, cell.options,
+                              use_cache=use_cache, strict=strict)
+
+        solved = parallel_map(solve_cell, unique, max_workers=max_workers,
+                              parallel=parallel, thread_name_prefix="repro-sweep")
+        return [solved[index_of[cell]] for cell in effective]
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def grid(self, strategies: Sequence[str], budgets: Sequence[Optional[float]],
+             options: Optional[SolverOptions] = None) -> List[SweepCell]:
+        """The cross product of strategies and budgets, in deterministic order."""
+        return [SweepCell(strategy=s, budget=b, options=options)
+                for s in strategies for b in budgets]
+
+
+_default_service: Optional[SolveService] = None
+_default_service_lock = threading.Lock()
+
+
+def get_default_service() -> SolveService:
+    """The process-wide shared service (lazy; cache shared across callers)."""
+    global _default_service
+    with _default_service_lock:
+        if _default_service is None:
+            _default_service = SolveService()
+        return _default_service
+
+
+def set_default_service(service: Optional[SolveService]) -> Optional[SolveService]:
+    """Replace the process-wide service (pass ``None`` to reset); returns the old one."""
+    global _default_service
+    with _default_service_lock:
+        previous, _default_service = _default_service, service
+        return previous

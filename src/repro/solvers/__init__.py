@@ -8,12 +8,16 @@ from .approximation import (
     solve_approx_lp_rounding,
     two_phase_round,
 )
-from .branch_and_bound import BranchAndBoundResult, solve_branch_and_bound
+from .branch_and_bound import (
+    BranchAndBoundResult,
+    solve_branch_and_bound,
+    solve_branch_and_bound_schedule,
+)
 from .common import build_scheduled_result
 from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
 from .ilp import ILP_STRATEGY_NAME, solve_ilp_rematerialization
 from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
-from .min_r import checkpoint_set_to_schedule, solve_min_r
+from .min_r import checkpoint_set_to_schedule, solve_min_r, solve_min_r_schedule
 
 __all__ = [
     "APPROX_STRATEGY_NAME",
@@ -24,6 +28,8 @@ __all__ = [
     "two_phase_round",
     "BranchAndBoundResult",
     "solve_branch_and_bound",
+    "solve_branch_and_bound_schedule",
+    "solve_min_r_schedule",
     "build_scheduled_result",
     "FormulationArrays",
     "InfeasibleBudgetError",

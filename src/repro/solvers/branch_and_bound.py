@@ -16,9 +16,17 @@ from typing import List, Optional, Tuple
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from .formulation import FormulationArrays
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduledResult
+from ..utils.timer import Timer
+from .common import build_scheduled_result
+from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
 
-__all__ = ["BranchAndBoundResult", "solve_branch_and_bound"]
+__all__ = [
+    "BranchAndBoundResult",
+    "solve_branch_and_bound",
+    "solve_branch_and_bound_schedule",
+]
 
 
 @dataclass
@@ -105,4 +113,46 @@ def solve_branch_and_bound(
         nodes_explored=nodes_explored,
         proven_optimal=proven and best_x is not None,
         status=status,
+    )
+
+
+def solve_branch_and_bound_schedule(
+    graph: DFGraph,
+    budget: float,
+    *,
+    max_nodes: int = 2000,
+    generate_plan: bool = True,
+    strategy_name: str = "checkmate-bnb",
+) -> ScheduledResult:
+    """Uniform-signature driver: build the MILP for a graph and solve it here.
+
+    This wraps :func:`solve_branch_and_bound` behind the same
+    ``solve(graph, budget, **options) -> ScheduledResult`` contract every other
+    strategy follows, so the reference solver can be registered with the solve
+    service and cross-checked against HiGHS through the ordinary sweep path.
+    Only sensible for tiny graphs (tens of nodes).
+    """
+    try:
+        formulation = MILPFormulation(graph, budget, frontier_advancing=True)
+    except InfeasibleBudgetError as exc:
+        return build_scheduled_result(
+            strategy_name, graph, None, budget=int(budget), feasible=False,
+            solver_status=f"infeasible-budget: {exc}",
+        )
+
+    arrays = formulation.build()
+    with Timer() as timer:
+        res = solve_branch_and_bound(arrays, max_nodes=max_nodes)
+    if res.x is None:
+        return build_scheduled_result(
+            strategy_name, graph, None, budget=int(budget), feasible=False,
+            solve_time_s=timer.elapsed, solver_status=res.status,
+        )
+    matrices = formulation.decode_matrices(np.asarray(res.x))
+    return build_scheduled_result(
+        strategy_name, graph, matrices, budget=int(budget), feasible=True,
+        solve_time_s=timer.elapsed, solver_status=res.status,
+        generate_plan=generate_plan,
+        extra={"nodes_explored": res.nodes_explored,
+               "proven_optimal": res.proven_optimal},
     )

@@ -20,12 +20,14 @@ minimal ``R`` (every 1 is forced), hence the conditionally optimal completion.
 
 from __future__ import annotations
 
+from typing import Iterable, Optional
+
 import numpy as np
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduleMatrices
 
-__all__ = ["solve_min_r", "checkpoint_set_to_schedule"]
+__all__ = ["solve_min_r", "checkpoint_set_to_schedule", "solve_min_r_schedule"]
 
 
 def solve_min_r(graph: DFGraph, S: np.ndarray) -> ScheduleMatrices:
@@ -92,3 +94,38 @@ def checkpoint_set_to_schedule(graph: DFGraph, checkpoints: set[int] | list[int]
             raise ValueError(f"checkpoint node {i} outside graph")
         S[i + 1:, i] = 1
     return solve_min_r(graph, S)
+
+
+def solve_min_r_schedule(
+    graph: DFGraph,
+    budget: Optional[float] = None,
+    *,
+    checkpoints: Iterable[int] = (),
+    generate_plan: bool = True,
+    strategy_name: str = "min-r",
+) -> "ScheduledResult":
+    """Uniform-signature driver: min-R completion of an explicit checkpoint set.
+
+    Exposes the conditionally optimal ``R``-for-fixed-``S`` solve behind the
+    standard ``solve(graph, budget, **options) -> ScheduledResult`` contract so
+    that hand-picked (or externally computed) checkpoint policies can be run,
+    cached and swept through the solve service exactly like any strategy.
+    ``budget`` only determines reported feasibility; the checkpoint set itself
+    is taken as given.
+    """
+    from ..core.simulator import schedule_peak_memory
+    from ..utils.timer import Timer
+    from .common import build_scheduled_result
+
+    with Timer() as timer:
+        matrices = checkpoint_set_to_schedule(graph, set(checkpoints))
+        peak = schedule_peak_memory(graph, matrices)
+    feasible = budget is None or peak <= budget
+    return build_scheduled_result(
+        strategy_name, graph, matrices,
+        budget=int(budget) if budget is not None else None,
+        feasible=feasible, solve_time_s=timer.elapsed,
+        solver_status="ok" if feasible else "over-budget",
+        generate_plan=generate_plan,
+        extra={"checkpoints": sorted(set(int(c) for c in checkpoints))},
+    )

@@ -63,13 +63,3 @@ def tiny_unet_train() -> DFGraph:
 def tiny_resnet_train() -> DFGraph:
     """A small residual network training graph."""
     return FlopCostModel().apply(make_training_graph(resnet_tiny(batch_size=1, resolution=16)))
-
-
-def ample_budget(graph: DFGraph) -> int:
-    """A budget large enough that no rematerialization is ever needed."""
-    return int(graph.constant_overhead + graph.total_activation_memory() * 2 + 10)
-
-
-def tight_budget(graph: DFGraph, fraction: float = 0.5) -> int:
-    """A budget at ``fraction`` of the retained-activation footprint."""
-    return int(graph.constant_overhead + graph.total_activation_memory() * fraction)

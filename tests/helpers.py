@@ -1,0 +1,22 @@
+"""Plain helper functions shared by test modules.
+
+These live outside ``conftest.py`` on purpose: conftest files are pytest
+plugin hooks, not importable libraries, and importing ``from conftest``
+resolves against whichever conftest happens to be first on ``sys.path``
+(historically the ``benchmarks/`` one shadowed ``tests/``).  Test modules
+import budget helpers from here instead.
+"""
+
+from __future__ import annotations
+
+from repro.core import DFGraph
+
+
+def ample_budget(graph: DFGraph) -> int:
+    """A budget large enough that no rematerialization is ever needed."""
+    return int(graph.constant_overhead + graph.total_activation_memory() * 2 + 10)
+
+
+def tight_budget(graph: DFGraph, fraction: float = 0.5) -> int:
+    """A budget at ``fraction`` of the retained-activation footprint."""
+    return int(graph.constant_overhead + graph.total_activation_memory() * fraction)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import ample_budget, tight_budget
+from helpers import ample_budget, tight_budget
 
 from repro.core import (
     checkpoint_all_schedule,

@@ -1,0 +1,542 @@
+"""Tests for the unified solve-service layer (registry, cache, sweep)."""
+
+import numpy as np
+import pytest
+
+from helpers import ample_budget, tight_budget
+
+from repro.autodiff import make_training_graph
+from repro.baselines import STRATEGIES
+from repro.core import DFGraph, NodeInfo, linear_graph
+from repro.cost_model import FlopCostModel
+from repro.experiments import budget_grid, budget_sweep, build_training_graph
+from repro.service import (
+    PlanCache,
+    SolveService,
+    SolverOptions,
+    SolverSpec,
+    SweepCell,
+    default_registry,
+    graph_content_hash,
+)
+
+
+def fresh_service(**kwargs) -> SolveService:
+    return SolveService(**kwargs)
+
+
+def make_chain_train(n=6):
+    fwd = linear_graph(n, cost=[1, 50, 2, 30, 4, 10][:n], memory=[8, 2, 16, 4, 32, 1][:n])
+    return make_training_graph(fwd)
+
+
+class TestGraphHash:
+    def test_stable_across_reconstruction(self):
+        a = make_chain_train()
+        b = make_chain_train()
+        assert a is not b
+        assert graph_content_hash(a) == graph_content_hash(b)
+
+    def test_stable_for_preset_rebuild(self):
+        a = build_training_graph("vgg16", batch_size=1, resolution=32)
+        b = build_training_graph("vgg16", batch_size=1, resolution=32)
+        assert graph_content_hash(a) == graph_content_hash(b)
+
+    def test_sensitive_to_costs_memories_and_edges(self):
+        base = make_chain_train()
+        h = graph_content_hash(base)
+        costs = list(base.cost_vector)
+        costs[0] += 1.0
+        assert graph_content_hash(base.with_costs(costs)) != h
+        mems = [int(m) for m in base.memory_vector]
+        mems[-1] += 1
+        assert graph_content_hash(base.with_memories(mems)) != h
+        # Same nodes, different topology.
+        nodes = [NodeInfo(f"n{i}", 1.0, 1) for i in range(3)]
+        g1 = DFGraph(nodes=nodes, deps={0: [], 1: [0], 2: [1]})
+        g2 = DFGraph(nodes=nodes, deps={0: [], 1: [0], 2: [0, 1]})
+        assert graph_content_hash(g1) != graph_content_hash(g2)
+
+    def test_sensitive_to_overheads_and_meta(self):
+        nodes = [NodeInfo("a", 1.0, 1), NodeInfo("b", 1.0, 1)]
+        g1 = DFGraph(nodes=nodes, deps={0: [], 1: [0]}, parameter_memory=0)
+        g2 = DFGraph(nodes=nodes, deps={0: [], 1: [0]}, parameter_memory=64)
+        g3 = DFGraph(nodes=nodes, deps={0: [], 1: [0]}, meta={"n_forward": 2})
+        assert len({graph_content_hash(g) for g in (g1, g2, g3)}) == 3
+
+    def test_memoized_on_instance(self):
+        g = make_chain_train()
+        assert graph_content_hash(g) is graph_content_hash(g)
+
+    def test_numpy_meta_values_hash_safely(self):
+        # meta is Dict[str, object]: ndarray values must not crash the memo
+        # equality check, must hash by full contents (repr truncates), and
+        # in-place array mutation must invalidate the memo.
+        def make(arr):
+            nodes = [NodeInfo("a", 1.0, 1), NodeInfo("b", 1.0, 1)]
+            return DFGraph(nodes=nodes, deps={0: [], 1: [0]},
+                           meta={"mask": arr})
+
+        big = np.arange(2000)  # large enough for repr's "..." truncation
+        g = make(big.copy())
+        h1 = graph_content_hash(g)
+        assert graph_content_hash(g) == h1  # second lookup: no crash
+        changed = big.copy()
+        changed[-1] += 1  # beyond the repr ellipsis
+        assert graph_content_hash(make(changed)) != h1
+        g.meta["mask"][0] += 1
+        assert graph_content_hash(g) != h1
+
+    def test_meta_mutation_invalidates_memo(self):
+        g = make_chain_train()
+        before = graph_content_hash(g)
+        g.meta["custom_tag"] = "v2"
+        assert graph_content_hash(g) != before
+        # In-place mutation of a nested container must also invalidate the
+        # memo (the snapshot is a deep copy, not a shared reference).
+        nested_before = graph_content_hash(g)
+        first_key = next(iter(g.meta["grad_index"]))
+        g.meta["grad_index"][first_key] += 1
+        assert graph_content_hash(g) != nested_before
+
+
+class TestRegistry:
+    def test_absorbs_all_table1_strategies(self):
+        registry = default_registry()
+        for key in STRATEGIES:
+            assert key in registry
+        assert len(registry.table1_entries()) == len(STRATEGIES) == 10
+
+    def test_extra_solvers_registered_uniformly(self):
+        registry = default_registry()
+        assert "checkmate_bnb" in registry
+        assert "min_r" in registry
+        assert not registry.get("checkmate_bnb").in_table1
+
+    def test_unknown_key_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            default_registry().get("definitely_not_a_solver")
+
+    def test_no_silent_overwrite(self):
+        registry = default_registry()
+        spec = registry.get("checkmate_ilp")
+        with pytest.raises(KeyError):
+            registry.register(spec)
+        registry.register(spec, overwrite=True)  # explicit is allowed
+
+    def test_option_map_routes_only_declared_options(self):
+        options = SolverOptions(time_limit_s=30, allowance=0.2, seed=7)
+        registry = default_registry()
+        ilp_kwargs = options.kwargs_for(registry.get("checkmate_ilp").option_map)
+        assert ilp_kwargs == {"time_limit_s": 30}
+        heuristic_kwargs = options.kwargs_for(registry.get("chen_sqrt_n").option_map)
+        assert heuristic_kwargs == {}
+        # The MILP time limit must NOT silently shrink the approximation's LP
+        # limit; only the dedicated lp_time_limit_s field reaches it.
+        approx_kwargs = options.kwargs_for(registry.get("checkmate_approx").option_map)
+        assert approx_kwargs == {"allowance": 0.2, "seed": 7}
+        lp_options = SolverOptions(lp_time_limit_s=45)
+        assert lp_options.kwargs_for(registry.get("checkmate_approx").option_map) \
+            == {"lp_time_limit_s": 45}
+
+    def test_cache_token_ignores_irrelevant_options(self):
+        registry = default_registry()
+        heuristic_map = registry.get("chen_sqrt_n").option_map
+        a = SolverOptions(time_limit_s=10).cache_token(heuristic_map)
+        b = SolverOptions(time_limit_s=99).cache_token(heuristic_map)
+        assert a == b  # the heuristic never sees the time limit
+        ilp_map = registry.get("checkmate_ilp").option_map
+        assert (SolverOptions(time_limit_s=10).cache_token(ilp_map)
+                != SolverOptions(time_limit_s=99).cache_token(ilp_map))
+
+
+class TestSolveAndCache:
+    def test_solve_matches_direct_call(self):
+        graph = make_chain_train()
+        budget = ample_budget(graph)
+        service = fresh_service()
+        via_service = service.solve(graph, "linearized_greedy", budget)
+        direct = STRATEGIES["linearized_greedy"].solve(graph, budget)
+        assert via_service.feasible and direct.feasible
+        assert via_service.compute_cost == direct.compute_cost
+        assert np.array_equal(via_service.matrices.R, direct.matrices.R)
+        assert np.array_equal(via_service.matrices.S, direct.matrices.S)
+
+    def test_cache_hit_and_miss_counters(self):
+        graph = make_chain_train()
+        budget = tight_budget(graph, 0.6)
+        service = fresh_service()
+        service.solve(graph, "linearized_greedy", budget)
+        assert service.stats.solver_calls == 1
+        assert service.stats.cache_misses == 1
+        service.solve(graph, "linearized_greedy", budget)
+        assert service.stats.solver_calls == 1  # answered from cache
+        assert service.stats.cache_hits == 1
+        # Different budget -> different cell -> miss.
+        service.solve(graph, "linearized_greedy", budget + 1)
+        assert service.stats.solver_calls == 2
+
+    def test_cache_shared_across_reconstructed_graphs(self):
+        service = fresh_service()
+        budget = tight_budget(make_chain_train(), 0.6)
+        service.solve(make_chain_train(), "checkmate_approx", budget)
+        result = service.solve(make_chain_train(), "checkmate_approx", budget)
+        assert service.stats.solver_calls == 1
+        assert result.feasible
+
+    def test_options_participate_in_cache_key(self):
+        graph = make_chain_train()
+        budget = tight_budget(graph, 0.6)
+        service = fresh_service()
+        service.solve(graph, "checkmate_approx", budget, SolverOptions(allowance=0.1))
+        service.solve(graph, "checkmate_approx", budget, SolverOptions(allowance=0.3))
+        assert service.stats.solver_calls == 2
+
+    def test_use_cache_false_always_solves(self):
+        graph = make_chain_train()
+        budget = tight_budget(graph, 0.6)
+        service = fresh_service()
+        service.solve(graph, "linearized_greedy", budget, use_cache=False)
+        service.solve(graph, "linearized_greedy", budget, use_cache=False)
+        assert service.stats.solver_calls == 2
+
+    def test_disabled_cache_service(self):
+        graph = make_chain_train()
+        service = fresh_service(cache=None)
+        budget = tight_budget(graph, 0.6)
+        service.solve(graph, "linearized_greedy", budget)
+        service.solve(graph, "linearized_greedy", budget)
+        assert service.stats.solver_calls == 2
+        # No cache was consulted, so neither hit nor miss counters move.
+        assert service.stats.cache_hits == 0
+        assert service.stats.cache_misses == 0
+
+    def test_lru_eviction(self):
+        graph = make_chain_train()
+        service = fresh_service(cache=PlanCache(max_entries=1))
+        b1, b2 = tight_budget(graph, 0.6), tight_budget(graph, 0.7)
+        service.solve(graph, "linearized_greedy", b1)
+        service.solve(graph, "linearized_greedy", b2)  # evicts b1
+        service.solve(graph, "linearized_greedy", b1)
+        assert service.stats.solver_calls == 3
+
+    def test_infeasible_results_cached_too(self):
+        graph = make_chain_train()
+        service = fresh_service()
+        result = service.solve(graph, "checkmate_ilp", 1,
+                               SolverOptions(time_limit_s=5))
+        assert not result.feasible
+        again = service.solve(graph, "checkmate_ilp", 1, SolverOptions(time_limit_s=5))
+        assert not again.feasible
+        assert service.stats.solver_calls == 1
+
+    def test_timeout_without_incumbent_not_cached(self):
+        # "No incumbent at the wall-clock limit" is load-dependent; replaying
+        # it from the cache would turn a transient timeout into permanent
+        # infeasibility.  Proven infeasibility (covered above) stays cached.
+        from repro.solvers.common import build_scheduled_result
+
+        graph = make_chain_train()
+
+        def flaky_solver(g, budget=None, **kw):
+            return build_scheduled_result("flaky", g, None, budget=int(budget),
+                                          feasible=False, solver_status="time_limit")
+
+        registry = default_registry()
+        registry.register(SolverSpec(key="flaky", description="stub",
+                                     solve=flaky_solver))
+        service = fresh_service(registry=registry)
+        service.solve(graph, "flaky", 100)
+        service.solve(graph, "flaky", 100)
+        assert service.stats.solver_calls == 2  # never answered from cache
+
+    def test_unserializable_result_does_not_fail_disk_store(self, tmp_path):
+        # A custom solver with exotic (non-JSON) result fields must not abort
+        # the solve at disk-store time, nor leave partial tmp files behind.
+        from repro.core import ScheduledResult
+
+        graph = make_chain_train()
+
+        def exotic_solver(g, budget=None, **kw):
+            # budget={1,2} breaks json.dump; solve_time_s=None breaks payload
+            # construction itself (float(None)) -- both must be survivable.
+            return ScheduledResult(strategy="exotic", graph=g, matrices=None,
+                                   plan=None, compute_cost=1.0, peak_memory=0,
+                                   feasible=False, budget={1, 2},
+                                   solve_time_s=None,
+                                   solver_status="infeasible")
+
+        registry = default_registry()
+        registry.register(SolverSpec(key="exotic", description="stub",
+                                     solve=exotic_solver))
+        service = fresh_service(registry=registry,
+                                cache=PlanCache(cache_dir=str(tmp_path)))
+        result = service.solve(graph, "exotic", 100)
+        assert not result.feasible
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_budget_zero_is_a_real_budget(self):
+        # Regression: `int(budget) if budget else None` used to turn budget=0
+        # into "unbounded" and report feasibility.
+        graph = make_chain_train()
+        service = fresh_service()
+        result = service.solve(graph, "checkpoint_all", 0)
+        assert result.budget == 0
+        assert not result.feasible
+
+    def test_not_applicable_strategy_yields_infeasible(self, diamond_train):
+        service = fresh_service()
+        result = service.solve(diamond_train, "griewank_logn",
+                               ample_budget(diamond_train))
+        assert not result.feasible
+        assert "not-applicable" in result.solver_status
+        with pytest.raises(ValueError):
+            service.solve(diamond_train, "griewank_logn",
+                          ample_budget(diamond_train), use_cache=False, strict=True)
+
+    def test_misconfiguration_propagates_even_non_strict(self):
+        # Only StrategyNotApplicableError becomes a 'not-applicable' result;
+        # a genuinely bad option must surface, not masquerade as infeasible.
+        graph = make_chain_train()
+        service = fresh_service()
+        with pytest.raises(ValueError, match="allowance"):
+            service.solve(graph, "checkmate_approx", ample_budget(graph),
+                          SolverOptions(allowance=2.0))
+
+    def test_not_applicable_placeholder_never_cached(self, diamond_train):
+        # A strict=True call after a non-strict one on the same cell must still
+        # raise: placeholders for raised strategies are not cacheable results.
+        service = fresh_service()
+        budget = ample_budget(diamond_train)
+        service.solve(diamond_train, "griewank_logn", budget)
+        assert service.stats.cache_hits == 0
+        with pytest.raises(ValueError):
+            service.solve(diamond_train, "griewank_logn", budget, strict=True)
+        # And the non-strict path re-derives it rather than hitting the cache.
+        again = service.solve(diamond_train, "griewank_logn", budget)
+        assert "not-applicable" in again.solver_status
+        assert service.stats.cache_hits == 0
+
+    def test_extra_solvers_through_service(self):
+        graph = make_chain_train(4)
+        service = fresh_service()
+        budget = ample_budget(graph)
+        bnb = service.solve(graph, "checkmate_bnb", budget)
+        assert bnb.feasible
+        minr = service.solve(graph, "min_r", budget,
+                             SolverOptions(checkpoints=(1, 3)))
+        assert minr.feasible
+        assert minr.extra["checkpoints"] == [1, 3]
+
+
+class TestDiskCache:
+    def test_roundtrip_across_service_instances(self, tmp_path):
+        graph = make_chain_train()
+        budget = tight_budget(graph, 0.6)
+        first = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        original = first.solve(graph, "checkmate_approx", budget)
+        assert first.stats.solver_calls == 1
+
+        # A new process would start with an empty in-memory tier but the same
+        # directory: the plan must come back from disk, not from a solver.
+        second = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        restored = second.solve(graph, "checkmate_approx", budget)
+        assert second.stats.solver_calls == 0
+        assert restored.feasible == original.feasible
+        assert restored.compute_cost == pytest.approx(original.compute_cost)
+        assert np.array_equal(restored.matrices.R, original.matrices.R)
+        assert np.array_equal(restored.matrices.S, original.matrices.S)
+        # Solver metadata survives the disk roundtrip.
+        assert restored.extra["lp_objective"] == pytest.approx(
+            original.extra["lp_objective"])
+        assert (restored.plan is None) == (original.plan is None)
+
+    def test_plan_flag_roundtrips(self, tmp_path):
+        graph = make_chain_train()
+        budget = ample_budget(graph)
+        first = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        original = first.solve(graph, "checkmate_approx", budget,
+                               SolverOptions(generate_plan=False))
+        assert original.plan is None
+        second = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        restored = second.solve(graph, "checkmate_approx", budget,
+                                SolverOptions(generate_plan=False))
+        assert second.stats.solver_calls == 0
+        assert restored.plan is None
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        graph = make_chain_train()
+        budget = ample_budget(graph)
+        service = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        service.solve(graph, "linearized_greedy", budget)
+        for path in tmp_path.iterdir():
+            path.write_text("{not json")
+        fresh = fresh_service(cache=PlanCache(cache_dir=str(tmp_path)))
+        result = fresh.solve(graph, "linearized_greedy", budget)
+        assert fresh.stats.solver_calls == 1
+        assert result.feasible
+
+
+class TestSweep:
+    def test_parallel_identical_to_sequential(self):
+        graph = make_chain_train()
+        budgets = [tight_budget(graph, f) for f in (0.55, 0.7, 0.9)]
+        strategies = ("checkpoint_all", "linearized_greedy", "checkmate_approx")
+        sequential = fresh_service().sweep(
+            make_chain_train(), fresh_service().grid(strategies, budgets),
+            options=SolverOptions(time_limit_s=30), parallel=False)
+        parallel = fresh_service().sweep(
+            make_chain_train(), fresh_service().grid(strategies, budgets),
+            options=SolverOptions(time_limit_s=30), parallel=True, max_workers=4)
+        assert len(sequential) == len(parallel) == len(strategies) * len(budgets)
+        for seq, par in zip(sequential, parallel):
+            assert seq.strategy == par.strategy
+            assert seq.feasible == par.feasible
+            assert seq.compute_cost == par.compute_cost
+            assert seq.peak_memory == par.peak_memory
+            if seq.matrices is None:
+                assert par.matrices is None
+            else:
+                assert np.array_equal(seq.matrices.R, par.matrices.R)
+                assert np.array_equal(seq.matrices.S, par.matrices.S)
+
+    def test_results_keep_cell_order(self):
+        graph = make_chain_train()
+        cells = [SweepCell("checkpoint_all", None),
+                 SweepCell("linearized_sqrt_n", tight_budget(graph, 0.8)),
+                 SweepCell("checkpoint_all", tight_budget(graph, 0.9))]
+        results = fresh_service().sweep(graph, cells, max_workers=3)
+        assert [r.budget for r in results] == [None, tight_budget(graph, 0.8),
+                                               tight_budget(graph, 0.9)]
+
+    def test_unknown_strategy_fails_before_solving(self):
+        graph = make_chain_train()
+        service = fresh_service()
+        with pytest.raises(KeyError):
+            service.sweep(graph, [("checkpoint_all", None), ("nope", None)])
+        assert service.stats.solver_calls == 0
+
+    def test_empty_cells(self):
+        assert fresh_service().sweep(make_chain_train(), []) == []
+
+    def test_duplicate_cells_solved_once(self):
+        # budget_grid can emit duplicate budgets on tiny graphs; identical
+        # cells in one sweep must be single-flighted, not raced in parallel.
+        graph = make_chain_train()
+        budget = ample_budget(graph)
+        service = fresh_service()
+        results = service.sweep(graph, [("checkmate_approx", budget)] * 4,
+                                max_workers=4)
+        assert len(results) == 4
+        assert service.stats.solver_calls == 1
+        assert all(r is results[0] for r in results)
+
+    def test_warm_cache_sweep_is_solver_free(self):
+        graph = make_chain_train()
+        budgets = [tight_budget(graph, f) for f in (0.6, 0.8)]
+        service = fresh_service()
+        cells = service.grid(("checkpoint_all", "checkmate_approx"), budgets)
+        service.sweep(graph, cells)
+        calls_after_cold = service.stats.solver_calls
+        # checkpoint_all has no budget knob but distinct budgets are distinct
+        # cells; every cell must have invoked a solver exactly once.
+        assert calls_after_cold == len(cells)
+        service.sweep(graph, cells)
+        assert service.stats.solver_calls == calls_after_cold
+
+
+class TestBudgetSweepThroughService:
+    #: Inline replica of the pre-service sequential Figure-5 loop, kept as the
+    #: reference semantics for the experiment.
+    @staticmethod
+    def _seed_budget_sweep(graph, budgets, strategies, ilp_time_limit_s=120.0):
+        from repro.baselines.griewank import is_linear_forward_graph
+        from repro.solvers.common import build_scheduled_result
+
+        def solve_one(info, budget):
+            kwargs = {}
+            if info.key == "checkmate_ilp":
+                kwargs["time_limit_s"] = ilp_time_limit_s
+            try:
+                return info.solve(graph, budget, **kwargs)
+            except ValueError as exc:
+                return build_scheduled_result(info.key, graph, None, budget=budget,
+                                              feasible=False,
+                                              solver_status=f"not-applicable: {exc}")
+
+        is_linear = is_linear_forward_graph(graph)
+        points = []
+        for key in strategies:
+            info = STRATEGIES[key]
+            if info.linear_only and not is_linear:
+                continue
+            if not info.has_budget_knob:
+                result = solve_one(info, max(budgets))
+                for budget in budgets:
+                    fits = result.feasible and result.peak_memory <= budget
+                    points.append((key, budget, fits,
+                                   result.compute_cost if fits else float("inf"),
+                                   result.peak_memory))
+                continue
+            for budget in budgets:
+                result = solve_one(info, budget)
+                ok = result.feasible and result.peak_memory <= budget
+                points.append((key, budget, ok,
+                               result.compute_cost if ok else float("inf"),
+                               result.peak_memory if result.matrices is not None else 0))
+        return points
+
+    def test_unet_preset_identical_to_seed_loop_and_cached(self):
+        """Acceptance: U-Net sweep matches the seed loop; warm rerun solves nothing."""
+        graph = build_training_graph("unet", scale="ci")
+        budgets = budget_grid(graph, num_budgets=3, low_fraction=0.55)
+        strategies = ("checkpoint_all", "ap_sqrt_n", "ap_greedy",
+                      "linearized_sqrt_n", "linearized_greedy", "checkmate_approx")
+
+        expected = self._seed_budget_sweep(graph, budgets, strategies)
+        service = fresh_service()
+        points = budget_sweep(graph, budgets, strategies=strategies, service=service)
+
+        assert [(p.strategy, p.budget, p.feasible, p.compute_cost, p.peak_memory)
+                for p in points] == expected
+
+        # Warm rerun: identical points, zero solver invocations.
+        calls_after_cold = service.stats.solver_calls
+        assert calls_after_cold > 0
+        again = budget_sweep(graph, budgets, strategies=strategies, service=service)
+        assert service.stats.solver_calls == calls_after_cold
+        assert [(p.strategy, p.budget, p.feasible, p.compute_cost, p.peak_memory)
+                for p in again] == expected
+
+    def test_linear_chain_identical_to_seed_loop(self, tiny_vgg_train):
+        budgets = budget_grid(tiny_vgg_train, num_budgets=2, low_fraction=0.6)
+        strategies = ("checkpoint_all", "chen_sqrt_n", "chen_greedy",
+                      "linearized_greedy", "checkmate_approx")
+        expected = self._seed_budget_sweep(tiny_vgg_train, budgets, strategies)
+        points = budget_sweep(tiny_vgg_train, budgets, strategies=strategies,
+                              service=fresh_service())
+        assert [(p.strategy, p.budget, p.feasible, p.compute_cost, p.peak_memory)
+                for p in points] == expected
+
+    def test_sequential_flag_matches_parallel(self):
+        graph = make_chain_train()
+        budgets = budget_grid(graph, num_budgets=2)
+        kwargs = dict(strategies=("checkpoint_all", "linearized_greedy"),
+                      ilp_time_limit_s=30)
+        par = budget_sweep(graph, budgets, service=fresh_service(), **kwargs)
+        seq = budget_sweep(graph, budgets, service=fresh_service(), parallel=False,
+                           **kwargs)
+        assert [(p.strategy, p.budget, p.feasible, p.compute_cost) for p in par] \
+            == [(p.strategy, p.budget, p.feasible, p.compute_cost) for p in seq]
+
+
+class TestStrategyMatrixFromRegistry:
+    def test_table1_rendering_excludes_extra_solvers(self):
+        from repro.experiments import strategy_matrix_rows
+
+        service = fresh_service()
+        assert len(service.registry) > 10  # bnb + min_r registered
+        rows = strategy_matrix_rows(service)
+        assert len(rows) == 10
+        keys = {r[0] for r in rows}
+        assert "checkmate_bnb" not in keys and "min_r" not in keys
