@@ -1,0 +1,91 @@
+"""Solve-as-a-service walkthrough: run the daemon and drive it as a client.
+
+Starts a :class:`repro.server.SolveServer` on an ephemeral port (exactly what
+``repro serve`` runs), then exercises the serving layer the way concurrent
+clients would:
+
+1. submit a U-Net preset solve over JSON/HTTP and fetch its result;
+2. fire 8 *concurrent duplicate* submissions -- single-flighting collapses
+   them into one solver invocation shared by all eight jobs;
+3. re-submit the same cell afterwards -- the plan cache answers without any
+   solver work at all;
+4. run a (strategy x budget) sweep job and print the resulting table;
+5. read ``/v1/metrics``: queue depth, dedup counters, cache hit rate,
+   p50/p95 solve latency.
+
+Run:  python examples/serve_and_submit.py
+"""
+
+import threading
+
+from repro.server import ServeClient, SolveServer
+
+GiB = 2**30
+
+
+def main() -> None:
+    with SolveServer(port=0, num_workers=2) as server:  # port 0 = ephemeral
+        print(f"solve server listening on {server.url}\n")
+        client = ServeClient(server.url)
+
+        # -- 1. one solve job, submitted by preset name ------------------- #
+        handle = client.submit_solve(preset="unet", strategy="checkmate_approx",
+                                     budget=2 * GiB, options={"seed": 0})
+        print(f"submitted job {handle['job_id']} ({handle['state']})")
+        status = client.wait(handle["job_id"], timeout=300)
+        result = client.result(handle["job_id"])["result"]
+        print(f"  -> {status['state']} in {status['run_s']:.3f}s: "
+              f"cost={result['compute_cost']:.4g}, "
+              f"peak={result['peak_memory'] / 2**20:.1f} MiB, "
+              f"feasible={result['feasible']}\n")
+
+        # -- 2. eight concurrent duplicates: one solver invocation -------- #
+        cell = dict(preset="unet", strategy="checkmate_approx",
+                    budget=1 * GiB, options={"seed": 0})
+        handles = []
+        threads = [threading.Thread(
+            target=lambda: handles.append(client.submit_solve(**cell)))
+            for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for h in handles:
+            client.wait(h["job_id"], timeout=300)
+        deduplicated = sum(h["deduplicated"] for h in handles)
+        print(f"8 concurrent duplicate submissions: "
+              f"{deduplicated} rode an existing flight "
+              f"(solver ran {8 - deduplicated} time(s))")
+
+        # -- 3. a later identical submission hits the plan cache ---------- #
+        ninth = client.submit_solve(**cell)
+        client.wait(ninth["job_id"], timeout=300)
+        print("9th (sequential) duplicate answered from the plan cache\n")
+
+        # -- 4. a sweep job ----------------------------------------------- #
+        sweep = client.submit_sweep(
+            preset="unet",
+            strategies=["checkpoint_all", "ap_sqrt_n", "linearized_greedy",
+                        "checkmate_approx"],
+            budgets=[1 * GiB, 2 * GiB], options={"seed": 0})
+        client.wait(sweep["job_id"], timeout=600)
+        print(f"{'strategy':<22} {'budget':>8}  {'feasible':<8} {'cost':>12}")
+        for r in client.result(sweep["job_id"])["results"]:
+            cost = r["compute_cost"]  # null on the wire when infeasible
+            print(f"{r['strategy']:<22} {r['budget'] / GiB:>7.1f}G  "
+                  f"{str(r['feasible']):<8} "
+                  f"{'-' if cost is None else format(cost, '.4g'):>12}")
+
+        # -- 5. operational metrics --------------------------------------- #
+        metrics = client.metrics()
+        cache = metrics["service"]["cache"]
+        latency = metrics["solve_latency"]
+        print(f"\njobs: {metrics['jobs']}")
+        print(f"cache: hits={cache['hits']} misses={cache['misses']} "
+              f"hit_rate={cache['hit_rate']:.1%}")
+        print(f"solve latency: p50={latency['p50_s']:.3f}s "
+              f"p95={latency['p95_s']:.3f}s over {latency['count']} flights")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,11 @@ The public API mirrors the system's pipeline:
 3. lower the schedule to an execution plan, simulate its memory profile
    (:mod:`repro.core`) or execute it over NumPy tensors
    (:mod:`repro.execution`);
-4. regenerate the paper's tables and figures (:mod:`repro.experiments`).
+4. regenerate the paper's tables and figures (:mod:`repro.experiments`);
+5. or skip the Python entirely: run the solve-as-a-service daemon
+   (:mod:`repro.server`, ``repro serve``) and submit jobs over JSON/HTTP --
+   priority queueing, single-flighted duplicates and the shared plan cache
+   included.
 
 Quickstart
 ----------
@@ -58,6 +62,7 @@ from .cost_model import (
 )
 from .service import (
     PlanCache,
+    SolveCancelledError,
     SolveService,
     SolverOptions,
     SolverRegistry,
@@ -76,6 +81,19 @@ from .solvers import (
 )
 
 __version__ = "1.0.0"
+
+#: Serving-layer exports resolved lazily (PEP 562): the daemon drags in
+#: http.server/urllib plus the full preset/model stack, a cost library
+#: consumers that never serve should not pay at ``import repro`` time.
+_SERVER_EXPORTS = ("JobQueue", "ServeClient", "SolveServer")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -101,7 +119,11 @@ __all__ = [
     "ProfileCostModel",
     "UniformCostModel",
     "memory_breakdown",
+    "JobQueue",
+    "ServeClient",
+    "SolveServer",
     "PlanCache",
+    "SolveCancelledError",
     "SolveService",
     "SolverOptions",
     "SolverRegistry",

@@ -1,0 +1,355 @@
+"""The ``repro`` command line interface.
+
+Every experiment preset and registered strategy is reachable from the shell
+without writing Python:
+
+.. code-block:: console
+
+    $ repro serve --port 8765 --workers 4          # run the solve daemon
+    $ repro strategies                             # list the solver registry
+    $ repro submit --preset unet --strategy checkmate_approx --budget 2GiB
+    $ repro sweep --preset vgg16 --strategies ap_sqrt_n,linearized_greedy \\
+                  --budgets 512MiB,1GiB,2GiB
+    $ repro status                                 # server health + metrics
+    $ repro status <job-id>                        # one job's lifecycle
+
+``submit``/``sweep``/``status`` talk to a running ``repro serve`` daemon
+(``--server`` defaults to ``http://127.0.0.1:8765``); ``strategies`` answers
+locally unless ``--server`` is passed.  Budgets accept raw bytes or binary
+units (``512MiB``, ``2GiB``); solver options are ``--option key=value``
+pairs matching :class:`repro.service.SolverOptions` fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+_BUDGET_UNITS = {
+    "b": 1,
+    "kb": 10**3, "mb": 10**6, "gb": 10**9, "tb": 10**12,
+    "kib": 2**10, "mib": 2**20, "gib": 2**30, "tib": 2**40,
+}
+
+
+def parse_budget(text: str) -> Optional[float]:
+    """``"2GiB"`` -> bytes; ``"none"`` -> unbounded (``None``)."""
+    cleaned = text.strip().lower()
+    if cleaned in ("none", "null", "unbounded", ""):
+        return None
+    match = re.fullmatch(r"([0-9]*\.?[0-9]+)\s*([a-z]*)", cleaned)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse budget {text!r}; use bytes or units like 512MiB, 2GiB")
+    value, unit = float(match.group(1)), match.group(2) or "b"
+    if unit not in _BUDGET_UNITS:
+        raise argparse.ArgumentTypeError(
+            f"unknown budget unit {unit!r}; known: {sorted(_BUDGET_UNITS)}")
+    return value * _BUDGET_UNITS[unit]
+
+
+def _parse_option_pairs(pairs: Sequence[str]) -> Optional[dict]:
+    """``["time_limit_s=60", "rounding_mode=randomized"]`` -> options dict.
+
+    Values go through ``json.loads`` when possible (numbers, booleans,
+    lists), falling back to plain strings, so both ``mip_gap=0.05`` and
+    ``rounding_mode=randomized`` do the right thing.
+    """
+    if not pairs:
+        return None
+    options = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--option expects key=value, got {pair!r}")
+        try:
+            options[key] = json.loads(raw)
+        except ValueError:
+            options[key] = raw
+    return options
+
+
+def _format_bytes(num: Optional[float]) -> str:
+    if num is None:
+        return "unbounded"
+    from .utils.formatting import format_bytes
+    return format_bytes(int(num))
+
+
+def _print_result_rows(results: List[dict]) -> None:
+    from .utils.formatting import format_table
+    rows = []
+    for r in results:
+        cost = r["compute_cost"]  # null on the wire for infeasible results
+        rows.append((
+            r["strategy"],
+            _format_bytes(r.get("budget")),
+            "yes" if r["feasible"] else f"no ({r['solver_status']})",
+            "-" if cost is None else f"{cost:.4g}",
+            _format_bytes(r["peak_memory"]),
+            f"{r['solve_time_s']:.3f}s",
+        ))
+    print(format_table(
+        ["strategy", "budget", "feasible", "cost", "peak mem", "solve time"],
+        rows))
+
+
+def _client(args):
+    from .server.client import ServeClient
+    return ServeClient(args.server, timeout=args.http_timeout)
+
+
+def _load_graph_arg(path: Optional[str]):
+    if path is None:
+        return None
+    from .utils.serialization import graph_from_json
+    with open(path, encoding="utf-8") as fh:
+        return graph_from_json(fh.read())
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", help="experiment preset key (see 'repro strategies'"
+                                         " for solvers, /v1/presets for presets)")
+    parser.add_argument("--scale", choices=("ci", "paper"), default="ci",
+                        help="preset scale (default: ci)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="override the preset's batch size")
+    parser.add_argument("--cost-model", choices=("flop", "profile", "uniform"),
+                        default=None, help="cost model for preset graphs")
+    parser.add_argument("--graph", metavar="FILE", default=None,
+                        help="upload a DFGraph serialized with graph_to_json "
+                             "instead of naming a preset")
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", default="http://127.0.0.1:8765",
+                        help="base URL of a running 'repro serve' daemon")
+    parser.add_argument("--http-timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout in seconds")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def cmd_serve(args) -> int:
+    from .server.http import SolveServer
+    from .service import PlanCache, SolveService
+
+    cache = PlanCache(max_entries=args.cache_entries, cache_dir=args.cache_dir)
+    service = SolveService(cache=cache)
+    server = SolveServer(args.host, args.port, service=service,
+                         num_workers=args.workers, verbose=args.verbose)
+    disk = f", disk cache at {args.cache_dir}" if args.cache_dir else ""
+    print(f"repro solve server listening on {server.url} "
+          f"({server.queue.num_workers} workers{disk}); Ctrl-C to stop",
+          flush=True)
+    server.serve_forever()
+    return 0
+
+
+def _require_one_graph_source(args) -> Optional[int]:
+    if (args.preset is None) == (args.graph is None):
+        print("error: pass exactly one of --preset or --graph", file=sys.stderr)
+        return 2
+    return None
+
+
+def cmd_submit(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    client = _client(args)
+    handle = client.submit_solve(
+        graph=_load_graph_arg(args.graph), preset=args.preset,
+        scale=args.scale, batch_size=args.batch_size, cost_model=args.cost_model,
+        strategy=args.strategy, budget=args.budget,
+        options=_parse_option_pairs(args.option), priority=args.priority)
+    dedup = " (deduplicated: riding an identical in-flight job)" \
+        if handle["deduplicated"] else ""
+    print(f"job {handle['job_id']} {handle['state']}{dedup}")
+    if args.no_wait:
+        return 0
+    status = client.wait(handle["job_id"], timeout=args.timeout)
+    print(f"job {handle['job_id']} {status['state']}"
+          + (f" in {status['run_s']:.3f}s" if status.get("run_s") else ""))
+    if status["state"] != "done":
+        print(f"error: {status.get('error')}", file=sys.stderr)
+        return 1
+    payload = client.result(handle["job_id"])
+    _print_result_rows([payload["result"]])
+    if args.save_schedule:
+        schedule = payload["result"].get("schedule")
+        if schedule is None:
+            print("no schedule to save (infeasible result)", file=sys.stderr)
+            return 1
+        with open(args.save_schedule, "w", encoding="utf-8") as fh:
+            fh.write(schedule)
+        print(f"schedule written to {args.save_schedule}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    client = _client(args)
+    strategies = [s for s in args.strategies.split(",") if s]
+    budgets = ([parse_budget(b) for b in args.budgets.split(",")]
+               if args.budgets else None)
+    handle = client.submit_sweep(
+        graph=_load_graph_arg(args.graph), preset=args.preset,
+        scale=args.scale, batch_size=args.batch_size, cost_model=args.cost_model,
+        strategies=strategies, budgets=budgets,
+        options=_parse_option_pairs(args.option), priority=args.priority)
+    print(f"sweep job {handle['job_id']} {handle['state']}")
+    if args.no_wait:
+        return 0
+    status = client.wait(handle["job_id"], timeout=args.timeout)
+    print(f"sweep job {handle['job_id']} {status['state']}"
+          + (f" in {status['run_s']:.3f}s" if status.get("run_s") else ""))
+    if status["state"] != "done":
+        print(f"error: {status.get('error')}", file=sys.stderr)
+        return 1
+    _print_result_rows(client.result(handle["job_id"])["results"])
+    return 0
+
+
+def cmd_status(args) -> int:
+    client = _client(args)
+    if args.job_id:
+        status = client.job(args.job_id)
+        for key in ("id", "kind", "description", "state", "deduplicated",
+                    "error", "wait_s", "run_s"):
+            print(f"{key:>14}: {status.get(key)}")
+        return 0 if status["state"] in ("queued", "running", "done") else 1
+    health = client.healthz()
+    metrics = client.metrics()
+    cache = (metrics["service"].get("cache") or {})
+    latency = metrics["solve_latency"]
+    hit_rate = cache.get("hit_rate")
+    print(f"server:        {args.server} ({health['status']}, "
+          f"uptime {health['uptime_s']:.0f}s)")
+    print(f"workers:       {metrics['workers']}")
+    print(f"queue depth:   {metrics['queue_depth']} queued, "
+          f"{metrics['running']} running")
+    print(f"jobs:          {metrics['jobs']}")
+    print(f"cache:         entries={cache.get('entries')} "
+          f"hits={cache.get('hits')} misses={cache.get('misses')} "
+          f"evictions={cache.get('evictions')} "
+          f"hit_rate={f'{hit_rate:.1%}' if hit_rate is not None else 'n/a'}")
+    p50, p95 = latency.get("p50_s"), latency.get("p95_s")
+    print(f"solve latency: count={latency['count']} "
+          f"p50={f'{p50:.3f}s' if p50 is not None else 'n/a'} "
+          f"p95={f'{p95:.3f}s' if p95 is not None else 'n/a'}")
+    return 0
+
+
+def cmd_strategies(args) -> int:
+    from .utils.formatting import format_table
+    if args.server:
+        entries = _client(args).strategies()
+    else:
+        from .service import default_registry
+        entries = [{
+            "key": spec.key, "description": spec.description,
+            "general_graphs": spec.general_graphs, "cost_aware": spec.cost_aware,
+            "memory_aware": spec.memory_aware, "in_table1": spec.in_table1,
+        } for spec in default_registry()]
+
+    def flag(value) -> str:
+        return {True: "yes", False: "no"}.get(value, str(value))
+
+    rows = [(e["key"], flag(e["general_graphs"]), flag(e["cost_aware"]),
+             flag(e["memory_aware"]), "yes" if e["in_table1"] else "",
+             e["description"]) for e in entries]
+    print(format_table(
+        ["strategy", "general", "cost-aware", "mem-aware", "table1", "description"],
+        rows))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Checkmate reproduction: solve-as-a-service CLI.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run the solve daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker pool size (default: min(4, cpu count))")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist solved plans as JSON under this directory")
+    p.add_argument("--cache-entries", type=int, default=512,
+                   help="in-memory plan cache size (0 disables)")
+    p.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one solve and wait for the result")
+    _add_graph_args(p)
+    p.add_argument("--strategy", required=True)
+    p.add_argument("--budget", type=parse_budget, default=None,
+                   help="memory budget (bytes or 512MiB/2GiB/...; default none)")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE",
+                   help="solver option, repeatable (e.g. --option time_limit_s=60)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (lower runs first)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and exit instead of waiting")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for completion")
+    p.add_argument("--save-schedule", metavar="FILE", default=None,
+                   help="write the solved (R, S) schedule JSON to FILE")
+    _add_server_args(p)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("sweep", help="submit a (strategy x budget) sweep")
+    _add_graph_args(p)
+    p.add_argument("--strategies", required=True,
+                   help="comma-separated strategy keys")
+    p.add_argument("--budgets", default=None,
+                   help="comma-separated budgets (512MiB,1GiB,none,...)")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true")
+    p.add_argument("--timeout", type=float, default=1800.0)
+    _add_server_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("status", help="server health/metrics, or one job's status")
+    p.add_argument("job_id", nargs="?", default=None)
+    _add_server_args(p)
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("strategies", help="list the solver registry")
+    p.add_argument("--server", default=None,
+                   help="query a running daemon instead of the local registry")
+    p.add_argument("--http-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_strategies)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from .server.client import ServeAPIError
+    try:
+        return args.fn(args)
+    except (ServeAPIError, TimeoutError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

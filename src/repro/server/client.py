@@ -1,0 +1,174 @@
+"""Thin stdlib client for the solve daemon's JSON API.
+
+Used by the ``repro`` CLI, the end-to-end tests and
+``examples/serve_and_submit.py``; also the reference for how to talk to the
+server from any other HTTP client (every method maps 1:1 onto an endpoint).
+
+Results come back as plain wire dicts (see
+:func:`repro.utils.serialization.result_to_wire`); callers that hold the
+original :class:`~repro.core.dfgraph.DFGraph` can re-materialize a full
+:class:`~repro.core.schedule.ScheduledResult` with
+:func:`~repro.utils.serialization.result_from_wire`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..core.dfgraph import DFGraph
+from ..utils.serialization import graph_to_wire
+
+__all__ = ["ServeClient", "ServeAPIError"]
+
+
+class ServeAPIError(RuntimeError):
+    """A non-2xx response from the server, carrying its status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Client for one solve server, e.g. ``ServeClient("http://127.0.0.1:8765")``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                message = exc.reason
+            raise ServeAPIError(exc.code, str(message)) from None
+        except urllib.error.URLError as exc:
+            raise ServeAPIError(0, f"cannot reach {url}: {exc.reason}") from None
+
+    # ------------------------------------------------------------------ #
+    # Operational endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def strategies(self) -> List[dict]:
+        return self._request("GET", "/v1/strategies")["strategies"]
+
+    def presets(self) -> dict:
+        return self._request("GET", "/v1/presets")
+
+    # ------------------------------------------------------------------ #
+    # Jobs
+    # ------------------------------------------------------------------ #
+    def submit_solve(self, *, strategy: str,
+                     graph: Optional[DFGraph] = None,
+                     preset: Optional[str] = None,
+                     scale: str = "ci",
+                     batch_size: Optional[int] = None,
+                     cost_model: Optional[str] = None,
+                     budget: Optional[float] = None,
+                     options: Optional[dict] = None,
+                     priority: int = 0) -> dict:
+        """``POST /v1/solve``: returns the job handle dict (id, state, urls)."""
+        payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
+        payload.update({"strategy": strategy, "budget": budget,
+                        "priority": priority})
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/v1/solve", payload)
+
+    def submit_sweep(self, *,
+                     graph: Optional[DFGraph] = None,
+                     preset: Optional[str] = None,
+                     scale: str = "ci",
+                     batch_size: Optional[int] = None,
+                     cost_model: Optional[str] = None,
+                     strategies: Optional[Iterable[str]] = None,
+                     budgets: Optional[Iterable[Optional[float]]] = None,
+                     cells: Optional[Iterable[Union[dict, Tuple[str, Optional[float]]]]] = None,
+                     options: Optional[dict] = None,
+                     priority: int = 0) -> dict:
+        """``POST /v1/sweep``: grid (strategies x budgets) or explicit cells."""
+        payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
+        if cells is not None:
+            payload["cells"] = [
+                cell if isinstance(cell, dict)
+                else {"strategy": cell[0], "budget": cell[1]}
+                for cell in cells
+            ]
+        else:
+            payload["strategies"] = list(strategies or [])
+            if budgets is not None:
+                payload["budgets"] = list(budgets)
+        payload["priority"] = priority
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/v1/sweep", payload)
+
+    @staticmethod
+    def _graph_payload(graph, preset, scale, batch_size, cost_model) -> dict:
+        if (graph is None) == (preset is None):
+            raise ValueError("pass exactly one of graph= or preset=")
+        if graph is not None:
+            return {"graph": graph_to_wire(graph)}
+        payload: dict = {"preset": preset, "scale": scale}
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
+        if cost_model is not None:
+            payload["cost_model"] = cost_model
+        return payload
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None) -> List[dict]:
+        suffix = f"?state={state}" if state else ""
+        return self._request("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The raw result payload; raises :class:`ServeAPIError` (409) until done."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll_interval: float = 0.1) -> dict:
+        """Poll until the job settles; returns its final status dict.
+
+        Raises :class:`TimeoutError` if the job is still queued/running when
+        ``timeout`` elapses (the job itself is left untouched).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s")
+            time.sleep(poll_interval)

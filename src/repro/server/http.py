@@ -1,0 +1,502 @@
+"""JSON-over-HTTP API for the solve daemon (stdlib only).
+
+Endpoints (all JSON bodies/responses, ``/v1`` prefix):
+
+============================== =============================================
+``POST /v1/solve``             submit one solve; 202 + job handle
+``POST /v1/sweep``             submit a (strategy, budget) sweep; 202 + job
+``GET  /v1/jobs``              list retained jobs (``?state=queued`` filter)
+``GET  /v1/jobs/{id}``         job status/lifecycle
+``GET  /v1/jobs/{id}/result``  result payload (409 until terminal)
+``POST /v1/jobs/{id}/cancel``  cancel (also ``DELETE /v1/jobs/{id}``)
+``GET  /v1/healthz``           liveness + queue depth
+``GET  /v1/metrics``           queue depth, cache hit rate, p50/p95 latency
+``GET  /v1/strategies``        the solver registry
+``GET  /v1/presets``           experiment presets addressable in requests
+============================== =============================================
+
+Graphs enter a request either **by value** -- ``"graph": <wire dict>`` in the
+:func:`repro.utils.serialization.graph_to_wire` format -- or **by preset** --
+``"preset": "unet"`` plus optional ``"scale"``/``"batch_size"``/
+``"cost_model"``, which builds the named experiment workload server-side
+(forward graph, reverse-mode differentiation, cost model) so shell clients
+never need to construct a graph at all.
+
+The server is a ``ThreadingHTTPServer``: request handling is concurrent and
+cheap (submission just enqueues), while actual solver work happens on the
+:class:`~repro.server.jobs.JobQueue` worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..core.dfgraph import DFGraph
+from ..cost_model import FlopCostModel, ProfileCostModel, UniformCostModel
+from ..experiments.presets import EXPERIMENT_MODELS, build_training_graph
+from ..service import SolveService, SolverOptions, SweepCell
+from ..utils.serialization import graph_from_wire, result_to_wire
+from .jobs import Job, JobQueue, JobState
+
+__all__ = ["SolveServer", "DEFAULT_PORT", "serve"]
+
+DEFAULT_PORT = 8765
+API_VERSION = "v1"
+
+_COST_MODELS = {
+    "flop": FlopCostModel,
+    "profile": ProfileCostModel,
+    "uniform": UniformCostModel,
+}
+
+_OPTION_FIELDS = frozenset(SolverOptions.__dataclass_fields__)
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _parse_options(payload: Optional[dict]) -> Optional[SolverOptions]:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ApiError(400, "'options' must be an object")
+    unknown = set(payload) - _OPTION_FIELDS
+    if unknown:
+        raise ApiError(400, f"unknown solver options: {sorted(unknown)}; "
+                            f"known: {sorted(_OPTION_FIELDS)}")
+    try:
+        checkpoints = payload.get("checkpoints")
+        if checkpoints is not None:
+            payload = dict(payload, checkpoints=tuple(checkpoints))
+        return SolverOptions(**payload)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid solver options: {exc}") from None
+
+
+def _parse_budget(value) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(400, "'budget' must be a number of bytes (or null)")
+    if value < 0:
+        raise ApiError(400, "'budget' must be non-negative")
+    return float(value)
+
+
+def _build_graph(payload: dict) -> DFGraph:
+    """Resolve the request's graph: by wire value or by named preset."""
+    has_graph = "graph" in payload and payload["graph"] is not None
+    has_preset = "preset" in payload and payload["preset"] is not None
+    if has_graph == has_preset:
+        raise ApiError(400, "exactly one of 'graph' (wire format) or "
+                            "'preset' (named workload) is required")
+    if has_graph:
+        try:
+            return graph_from_wire(payload["graph"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ApiError(400, f"invalid graph payload: {exc}") from None
+
+    preset = payload["preset"]
+    if preset not in EXPERIMENT_MODELS:
+        raise ApiError(404, f"unknown preset {preset!r}; "
+                            f"known: {sorted(EXPERIMENT_MODELS)}")
+    scale = payload.get("scale", "ci")
+    if scale not in ("ci", "paper"):
+        raise ApiError(400, "'scale' must be 'ci' or 'paper'")
+    cost_model_name = payload.get("cost_model", "flop")
+    if cost_model_name not in _COST_MODELS:
+        raise ApiError(400, f"unknown cost_model {cost_model_name!r}; "
+                            f"known: {sorted(_COST_MODELS)}")
+    batch_size = payload.get("batch_size")
+    if batch_size is not None and (isinstance(batch_size, bool)
+                                   or not isinstance(batch_size, int)
+                                   or batch_size < 1):
+        raise ApiError(400, "'batch_size' must be a positive integer")
+    try:
+        return build_training_graph(preset, scale=scale, batch_size=batch_size,
+                                    cost_model=_COST_MODELS[cost_model_name]())
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ApiError(400, f"failed to build preset graph: {exc}") from None
+
+
+class _App:
+    """Routing + request handling, independent of the HTTP plumbing."""
+
+    def __init__(self, queue: JobQueue) -> None:
+        self.queue = queue
+
+    # ------------------------------ submissions ----------------------- #
+    def post_solve(self, payload: dict) -> Tuple[int, dict]:
+        graph = _build_graph(payload)
+        strategy = payload.get("strategy")
+        if not isinstance(strategy, str):
+            raise ApiError(400, "'strategy' (string) is required")
+        budget = _parse_budget(payload.get("budget"))
+        options = _parse_options(payload.get("options"))
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        try:
+            job = self.queue.submit_solve(graph, strategy, budget, options,
+                                          priority=priority)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0])) from None
+        return 202, self._job_accepted(job)
+
+    def post_sweep(self, payload: dict) -> Tuple[int, dict]:
+        graph = _build_graph(payload)
+        options = _parse_options(payload.get("options"))
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        cells = []
+        if payload.get("cells") is not None:
+            if not isinstance(payload["cells"], list):
+                raise ApiError(400, "'cells' must be a list of "
+                                    "{strategy, budget, options?} objects")
+            for entry in payload["cells"]:
+                if not isinstance(entry, dict) or "strategy" not in entry:
+                    raise ApiError(400, "each cell needs at least a 'strategy'")
+                cells.append(SweepCell(
+                    strategy=entry["strategy"],
+                    budget=_parse_budget(entry.get("budget")),
+                    options=_parse_options(entry.get("options")),
+                ))
+        elif payload.get("strategies") is not None:
+            strategies = payload["strategies"]
+            budgets = payload.get("budgets", [None])
+            if not isinstance(strategies, list) or not isinstance(budgets, list):
+                raise ApiError(400, "'strategies' and 'budgets' must be lists")
+            cells = [SweepCell(strategy=s, budget=_parse_budget(b))
+                     for s in strategies for b in budgets]
+        else:
+            raise ApiError(400, "provide 'cells' or 'strategies' (+ 'budgets')")
+        try:
+            job = self.queue.submit_sweep(graph, cells, options,
+                                          priority=priority)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0])) from None
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
+        return 202, self._job_accepted(job)
+
+    @staticmethod
+    def _job_accepted(job: Job) -> dict:
+        return {
+            "job_id": job.id,
+            "state": job.state.value,
+            "deduplicated": job.deduplicated,
+            "status_url": f"/{API_VERSION}/jobs/{job.id}",
+            "result_url": f"/{API_VERSION}/jobs/{job.id}/result",
+        }
+
+    # ------------------------------ job access ------------------------ #
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self.queue.job(job_id)
+        except KeyError:
+            raise ApiError(404, f"unknown job {job_id!r}") from None
+
+    def get_jobs(self, state: Optional[str]) -> Tuple[int, dict]:
+        state_filter = None
+        if state is not None:
+            try:
+                state_filter = JobState(state)
+            except ValueError:
+                raise ApiError(400, f"unknown state filter {state!r}") from None
+        return 200, {"jobs": [j.to_dict() for j in self.queue.jobs(state_filter)]}
+
+    def get_job(self, job_id: str) -> Tuple[int, dict]:
+        return 200, self._job(job_id).to_dict()
+
+    def get_result(self, job_id: str) -> Tuple[int, dict]:
+        job = self._job(job_id)
+        if job.state in (JobState.QUEUED, JobState.RUNNING):
+            raise ApiError(409, f"job {job_id} is {job.state.value}; "
+                                "result not available yet")
+        if job.state is not JobState.DONE:
+            raise ApiError(409, f"job {job_id} {job.state.value}: {job.error}")
+        if job.kind == "solve":
+            body = {"job": job.to_dict(), "result": result_to_wire(job.result)}
+        else:
+            body = {"job": job.to_dict(),
+                    "results": [result_to_wire(r) for r in job.result]}
+        return 200, body
+
+    def cancel_job(self, job_id: str) -> Tuple[int, dict]:
+        try:
+            job = self.queue.cancel(job_id)
+        except KeyError:
+            raise ApiError(404, f"unknown job {job_id!r}") from None
+        return 200, job.to_dict()
+
+    # ------------------------------ operational ----------------------- #
+    def get_healthz(self) -> Tuple[int, dict]:
+        metrics = self.queue.metrics()
+        return 200, {
+            "status": "ok",
+            "uptime_s": metrics["uptime_s"],
+            "workers": metrics["workers"],
+            "queue_depth": metrics["queue_depth"],
+            "running": metrics["running"],
+        }
+
+    def get_metrics(self) -> Tuple[int, dict]:
+        return 200, self.queue.metrics()
+
+    def get_strategies(self) -> Tuple[int, dict]:
+        entries = []
+        for spec in self.queue.service.registry:
+            entries.append({
+                "key": spec.key,
+                "description": spec.description,
+                "general_graphs": spec.general_graphs,
+                "cost_aware": spec.cost_aware,
+                "memory_aware": spec.memory_aware,
+                "linear_only": spec.linear_only,
+                "has_budget_knob": spec.has_budget_knob,
+                "in_table1": spec.in_table1,
+            })
+        return 200, {"strategies": entries}
+
+    def get_presets(self) -> Tuple[int, dict]:
+        presets = []
+        for key, model in EXPERIMENT_MODELS.items():
+            presets.append({
+                "key": key,
+                "name": model.name,
+                "ci_kwargs": {k: list(v) if isinstance(v, tuple) else v
+                              for k, v in model.ci_kwargs.items()},
+                "paper_kwargs": {k: list(v) if isinstance(v, tuple) else v
+                                 for k, v in model.paper_kwargs.items()},
+            })
+        return 200, {"presets": presets, "scales": ["ci", "paper"],
+                     "cost_models": sorted(_COST_MODELS)}
+
+
+_JOB_PATH = re.compile(rf"^/{API_VERSION}/jobs/(?P<job_id>[0-9a-f]+)"
+                       r"(?P<sub>/result|/cancel)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP verbs/paths onto the :class:`_App` methods."""
+
+    server_version = "repro-solve-server/1.0"
+    protocol_version = "HTTP/1.1"
+    # Socket timeout honored by BaseHTTPRequestHandler: a client that stalls
+    # mid-request (or idles on a keep-alive connection) releases its handler
+    # thread instead of pinning it forever on the long-lived daemon.
+    timeout = 60
+
+    # Set by SolveServer via the server instance.
+    @property
+    def app(self) -> _App:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        self._body_consumed = True
+        if length <= 0:
+            raise ApiError(400, "request body required")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        self._body_consumed = False
+        try:
+            try:
+                status, body = self._route(method)
+            except ApiError as exc:
+                status, body = exc.status, {"error": exc.message}
+            except Exception as exc:  # noqa: BLE001 - request isolation boundary
+                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._drain_body()
+            self._send(status, body)
+        except (TimeoutError, OSError):
+            # Stalled or vanished client: the stream is unusable (a partial
+            # body read would corrupt keep-alive framing) -- drop it.
+            self.close_connection = True
+
+    def _drain_body(self) -> None:
+        # HTTP/1.1 keep-alive: a request whose route errored before reading
+        # the body would leave those bytes in rfile, where they would be
+        # misparsed as the *next* request line on this connection.
+        if getattr(self, "_body_consumed", True):
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                break
+            length -= len(chunk)
+
+    def _route(self, method: str) -> Tuple[int, dict]:
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        params = dict(pair.split("=", 1) for pair in query.split("&") if "=" in pair)
+        app = self.app
+
+        if method == "GET":
+            if path == f"/{API_VERSION}/healthz":
+                return app.get_healthz()
+            if path == f"/{API_VERSION}/metrics":
+                return app.get_metrics()
+            if path == f"/{API_VERSION}/strategies":
+                return app.get_strategies()
+            if path == f"/{API_VERSION}/presets":
+                return app.get_presets()
+            if path == f"/{API_VERSION}/jobs":
+                return app.get_jobs(params.get("state"))
+            match = _JOB_PATH.match(path)
+            if match and match.group("sub") in (None, "/result"):
+                if match.group("sub") == "/result":
+                    return app.get_result(match.group("job_id"))
+                return app.get_job(match.group("job_id"))
+        elif method == "POST":
+            if path == f"/{API_VERSION}/solve":
+                return app.post_solve(self._read_json())
+            if path == f"/{API_VERSION}/sweep":
+                return app.post_sweep(self._read_json())
+            match = _JOB_PATH.match(path)
+            if match and match.group("sub") == "/cancel":
+                return app.cancel_job(match.group("job_id"))
+        elif method == "DELETE":
+            match = _JOB_PATH.match(path)
+            if match and match.group("sub") is None:
+                return app.cancel_job(match.group("job_id"))
+        raise ApiError(404, f"no route for {method} {path}")
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class SolveServer:
+    """The solve daemon: a :class:`JobQueue` behind a threading HTTP server.
+
+    Usage (programmatic; the ``repro serve`` CLI wraps the same class)::
+
+        server = SolveServer(port=0)          # 0 = pick an ephemeral port
+        server.start()
+        print(server.url)                     # e.g. http://127.0.0.1:53217
+        ...
+        server.stop()
+
+    Also usable as a context manager.  ``service``/``queue`` default to fresh
+    instances; pass your own ``SolveService`` to share a plan cache with
+    in-process callers.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 service: Optional[SolveService] = None,
+                 queue: Optional[JobQueue] = None,
+                 num_workers: Optional[int] = None,
+                 verbose: bool = False) -> None:
+        self.queue = queue if queue is not None else JobQueue(
+            service, num_workers=num_workers)
+        self.app = _App(self.queue)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SolveServer":
+        """Start the worker pool and serve HTTP on a background thread."""
+        self.queue.start()
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="repro-serve-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant used by ``repro serve`` (Ctrl-C to stop)."""
+        self.queue.start()
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            self._serving = False
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop accepting requests and shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            # shutdown() only returns once a serve_forever loop acknowledges;
+            # calling it with no loop running would block forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.queue.shutdown(wait=True, drain=False)
+
+    def __enter__(self) -> "SolveServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+          service: Optional[SolveService] = None,
+          num_workers: Optional[int] = None,
+          verbose: bool = False) -> SolveServer:
+    """Build and start a :class:`SolveServer` (background thread); returns it."""
+    return SolveServer(host, port, service=service, num_workers=num_workers,
+                       verbose=verbose).start()

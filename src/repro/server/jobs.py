@@ -1,0 +1,480 @@
+"""Async job queue: priority ordering, bounded workers, single-flighting.
+
+This is the queueing half of the solve-as-a-service daemon.  An HTTP request
+(or a programmatic caller) *submits* work and immediately gets back a
+:class:`Job` handle; a bounded pool of worker threads drains the queue through
+one shared :class:`~repro.service.solve.SolveService`; clients poll (or
+:meth:`Job.wait`) for the ``queued -> running -> done/failed/cancelled``
+lifecycle to settle and then fetch the result.
+
+Design points, in the order they matter for a serving system:
+
+**Single-flighting.**  Identical concurrent submissions -- same graph content
+hash, strategy, budget and solver-visible options, i.e. exactly the plan
+cache's key -- are collapsed into one *flight group* that runs the solver
+once.  Every member job gets its own id and lifecycle and receives the shared
+result when the flight lands; late joiners that arrive while the flight is
+already running attach mid-air.  Combined with the
+:class:`~repro.service.cache.PlanCache` (which serves *sequential* repeats),
+this makes duplicate traffic -- the common case when many users train the
+same architecture at the same budget -- cost one MILP solve total, not one
+per request.
+
+**Priority.**  The queue is a binary heap ordered by ``(priority, arrival)``:
+lower ``priority`` values are served first, ties FIFO.  A follower joining an
+existing flight inherits the flight's position (it does not re-sort the
+heap).
+
+**Cancellation.**  Cancelling a job settles *that* job immediately.  The
+underlying solver invocation is only abandoned when every member of its
+flight group is cancelled, and even then cooperatively -- via the service's
+``should_cancel`` hook, polled before the solver starts.  A solver already
+inside HiGHS runs to completion and populates the plan cache; the result is
+simply not delivered to anyone.
+
+**Bounded history.**  Terminal jobs are retained for status queries but
+pruned oldest-first past ``max_history``, so a long-lived daemon does not
+leak one ``Job`` per request forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.dfgraph import DFGraph
+from ..service import (
+    PlanCacheKey,
+    SolveCancelledError,
+    SolveService,
+    SolverOptions,
+    SweepCell,
+    graph_content_hash,
+)
+from .metrics import LatencyWindow
+
+__all__ = ["JobState", "Job", "JobQueue"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+
+@dataclass(frozen=True)
+class _SolveWork:
+    graph: DFGraph
+    strategy: str
+    budget: Optional[float]
+    options: Optional[SolverOptions]
+
+
+@dataclass(frozen=True)
+class _SweepWork:
+    graph: DFGraph
+    cells: Tuple[SweepCell, ...]
+    options: Optional[SolverOptions]
+
+
+class Job:
+    """Handle for one submitted solve or sweep.
+
+    State transitions are owned by the :class:`JobQueue` (under its lock);
+    callers observe ``state``/``result``/``error`` and may :meth:`wait` on
+    the terminal event.  ``result`` is a
+    :class:`~repro.core.schedule.ScheduledResult` for solve jobs and a list
+    of them for sweep jobs; treat it as immutable -- it may be shared with
+    other jobs of the same flight group and with the plan cache.
+    """
+
+    def __init__(self, kind: str, description: str, priority: int,
+                 flight_key: str, graph_hash: str) -> None:
+        self.id = uuid.uuid4().hex[:12]
+        self.kind = kind
+        self.description = description
+        self.priority = int(priority)
+        self.flight_key = flight_key
+        self.graph_hash = graph_hash
+        self.state = JobState.QUEUED
+        self.deduplicated = False
+        self.result: object = None
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._terminal = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state; ``False`` on timeout."""
+        return self._terminal.wait(timeout)
+
+    def to_dict(self) -> dict:
+        """JSON-safe status view (what ``GET /v1/jobs/{id}`` returns)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "description": self.description,
+            "state": self.state.value,
+            "priority": self.priority,
+            "deduplicated": self.deduplicated,
+            "graph_hash": self.graph_hash,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wait_s": (self.started_at - self.submitted_at
+                       if self.started_at is not None else None),
+            "run_s": (self.finished_at - self.started_at
+                      if self.finished_at is not None and self.started_at is not None
+                      else None),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Job({self.id}, {self.kind}, {self.state.value}, {self.description!r})"
+
+
+class _FlightGroup:
+    """All jobs sharing one solver invocation (the single-flight unit)."""
+
+    def __init__(self, key: str, work: Union[_SolveWork, _SweepWork]) -> None:
+        self.key = key
+        self.work = work
+        self.members: List[Job] = []
+        self.running = False
+        self.finished = False
+
+    def live_members(self) -> List[Job]:
+        return [j for j in self.members if j.state not in TERMINAL_STATES]
+
+
+class JobQueue:
+    """Priority job queue draining into a shared :class:`SolveService`.
+
+    Parameters
+    ----------
+    service:
+        The solve service all workers share (defaults to a fresh one with its
+        own plan cache).  Sharing matters: it is what lets two *sequential*
+        identical jobs answer from the cache.
+    num_workers:
+        Size of the worker pool.  Also the max number of solver invocations
+        in flight at once; queued work beyond that waits in priority order.
+    max_history:
+        Retained terminal jobs.  Active jobs are never pruned.
+    """
+
+    def __init__(self, service: Optional[SolveService] = None, *,
+                 num_workers: Optional[int] = None,
+                 max_history: int = 4096,
+                 latency_window: int = 1024) -> None:
+        self.service = service if service is not None else SolveService()
+        self.num_workers = int(num_workers if num_workers is not None
+                               else min(4, os.cpu_count() or 1))
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.max_history = int(max_history)
+        self.latency = LatencyWindow(maxlen=latency_window)
+        self.started_at = time.time()
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, _FlightGroup]] = []
+        self._seq = itertools.count()
+        self._jobs: "Dict[str, Job]" = {}
+        self._flights: Dict[str, _FlightGroup] = {}
+        self._workers: List[threading.Thread] = []
+        self._shutdown = False
+        self._counters = {"submitted": 0, "deduplicated": 0, "done": 0,
+                          "failed": 0, "cancelled": 0}
+
+    # ------------------------------------------------------------------ #
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "JobQueue":
+        """Spin up the worker pool (idempotent)."""
+        with self._cond:
+            if self._workers:
+                return self
+            self._shutdown = False
+            for i in range(self.num_workers):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"repro-serve-{i}", daemon=True)
+                t.start()
+                self._workers.append(t)
+        return self
+
+    def shutdown(self, *, wait: bool = True, drain: bool = True) -> None:
+        """Stop the pool.  ``drain=True`` finishes queued work first;
+        ``drain=False`` cancels everything still queued."""
+        with self._cond:
+            self._shutdown = True
+            if not drain:
+                for _, _, flight in self._heap:
+                    for job in flight.live_members():
+                        self._settle_job_locked(job, JobState.CANCELLED,
+                                                error="queue shut down")
+                    # Retire the flight too: were it left active in _flights,
+                    # a submission after a restart would dedup onto it and
+                    # wait forever (its heap entry is gone).
+                    flight.finished = True
+                    if self._flights.get(flight.key) is flight:
+                        del self._flights[flight.key]
+                self._heap.clear()
+            self._cond.notify_all()
+        if wait:
+            for t in self._workers:
+                t.join()
+        self._workers = []
+
+    def __enter__(self) -> "JobQueue":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True, drain=False)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit_solve(self, graph: DFGraph, strategy: str,
+                     budget: Optional[float] = None,
+                     options: Optional[SolverOptions] = None, *,
+                     priority: int = 0,
+                     description: Optional[str] = None) -> Job:
+        """Enqueue one (graph, strategy, budget, options) solve.
+
+        Unknown strategies raise ``KeyError`` immediately (submission time),
+        not at execution time.  The flight key is exactly the plan cache key,
+        so two submissions single-flight iff they would share a cache entry.
+        """
+        spec = self.service.registry.get(strategy)
+        options = options if options is not None else self.service.default_options
+        graph_hash = graph_content_hash(graph)
+        key = "solve/" + PlanCacheKey.build(graph_hash, spec.key, budget,
+                                            options.cache_token(spec.option_map))
+        budget_txt = "none" if budget is None else f"{budget:g}"
+        description = description or (
+            f"solve {graph.name} strategy={spec.key} budget={budget_txt}")
+        work = _SolveWork(graph, spec.key, budget, options)
+        return self._submit("solve", key, work, priority, description, graph_hash)
+
+    def submit_sweep(self, graph: DFGraph,
+                     cells: Iterable[Union[SweepCell, Tuple[str, Optional[float]]]],
+                     options: Optional[SolverOptions] = None, *,
+                     priority: int = 0,
+                     description: Optional[str] = None) -> Job:
+        """Enqueue a sweep over many (strategy, budget) cells as one job.
+
+        The whole sweep is one queue entry (its internal cells already fan
+        out over the service's own thread pool).  Identical concurrent sweep
+        submissions single-flight just like solves.
+        """
+        normalized: List[SweepCell] = []
+        for cell in cells:
+            if not isinstance(cell, SweepCell):
+                strategy, budget = cell
+                cell = SweepCell(strategy=strategy, budget=budget)
+            self.service.registry.get(cell.strategy)  # fail fast on unknown keys
+            normalized.append(cell)
+        if not normalized:
+            raise ValueError("sweep needs at least one cell")
+        options = options if options is not None else self.service.default_options
+        graph_hash = graph_content_hash(graph)
+        digest = hashlib.sha256()
+        digest.update(graph_hash.encode())
+        for cell in normalized:
+            spec = self.service.registry.get(cell.strategy)
+            cell_options = cell.options if cell.options is not None else options
+            digest.update(repr((cell.strategy,
+                                None if cell.budget is None else float(cell.budget),
+                                cell_options.cache_token(spec.option_map))).encode())
+        key = "sweep/" + digest.hexdigest()
+        description = description or (
+            f"sweep {graph.name} cells={len(normalized)}")
+        work = _SweepWork(graph, tuple(normalized), options)
+        return self._submit("sweep", key, work, priority, description, graph_hash)
+
+    def _submit(self, kind: str, key: str, work, priority: int,
+                description: str, graph_hash: str) -> Job:
+        job = Job(kind, description, priority, key, graph_hash)
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("job queue is shut down")
+            self._counters["submitted"] += 1
+            flight = self._flights.get(key)
+            if flight is not None and not flight.finished:
+                # Single-flight: ride the existing solver invocation.
+                job.deduplicated = True
+                self._counters["deduplicated"] += 1
+                flight.members.append(job)
+                if flight.running:
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+            else:
+                flight = _FlightGroup(key, work)
+                flight.members.append(job)
+                self._flights[key] = flight
+                heapq.heappush(self._heap, (int(priority), next(self._seq), flight))
+                self._cond.notify()
+            self._jobs[job.id] = job
+            self._prune_locked()
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(f"unknown job {job_id!r}")
+            return self._jobs[job_id]
+
+    def jobs(self, state: Optional[JobState] = None) -> List[Job]:
+        """All retained jobs (optionally filtered), oldest first."""
+        with self._lock:
+            out = [j for j in self._jobs.values()
+                   if state is None or j.state == state]
+        return sorted(out, key=lambda j: j.submitted_at)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel one job; a no-op (returning the job) if already terminal.
+
+        The shared solver invocation is abandoned only if *every* member of
+        the flight is cancelled -- see the module docstring.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.state not in TERMINAL_STATES:
+                self._settle_job_locked(job, JobState.CANCELLED,
+                                        error="cancelled by client")
+            return job
+
+    def metrics(self) -> dict:
+        """The ``/v1/metrics`` payload: queue, latency and service/cache stats."""
+        with self._lock:
+            by_state: Dict[str, int] = {s.value: 0 for s in JobState}
+            for j in self._jobs.values():
+                by_state[j.state.value] += 1
+            counters = dict(self._counters)
+            workers = len(self._workers)
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "workers": workers,
+            "queue_depth": by_state[JobState.QUEUED.value],
+            "running": by_state[JobState.RUNNING.value],
+            "jobs_by_state": by_state,
+            "jobs": counters,
+            "solve_latency": self.latency.snapshot(),
+            "service": self.service.statistics(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Worker internals
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._shutdown:
+                    self._cond.wait()
+                if not self._heap:
+                    return  # shutdown and fully drained
+                _, _, flight = heapq.heappop(self._heap)
+                live = flight.live_members()
+                if not live:
+                    # Everyone cancelled while queued: never run the solver.
+                    flight.finished = True
+                    if self._flights.get(flight.key) is flight:
+                        del self._flights[flight.key]
+                    continue
+                flight.running = True
+                now = time.time()
+                for job in live:
+                    job.state = JobState.RUNNING
+                    job.started_at = now
+            t_start = time.monotonic()
+            try:
+                result = self._execute(flight)
+            except SolveCancelledError as exc:
+                self._finish_flight(flight, JobState.CANCELLED, error=str(exc))
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                self._finish_flight(flight, JobState.FAILED,
+                                    error=f"{type(exc).__name__}: {exc}")
+            else:
+                self.latency.record(time.monotonic() - t_start)
+                self._finish_flight(flight, JobState.DONE, result=result)
+
+    def _execute(self, flight: _FlightGroup):
+        def abandoned() -> bool:
+            return not any(j.state == JobState.RUNNING for j in flight.members)
+
+        work = flight.work
+        if isinstance(work, _SolveWork):
+            return self.service.solve(work.graph, work.strategy, work.budget,
+                                      work.options, should_cancel=abandoned)
+        return self.service.sweep(work.graph, work.cells, options=work.options,
+                                  should_cancel=abandoned)
+
+    def _finish_flight(self, flight: _FlightGroup, state: JobState, *,
+                       result=None, error: Optional[str] = None) -> None:
+        with self._cond:
+            flight.finished = True
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+            live = [job for job in flight.members
+                    if job.state not in TERMINAL_STATES]
+            if state is JobState.CANCELLED and live and not self._shutdown:
+                # The abandonment verdict fired when *every* member was
+                # cancelled, so anyone still live joined after it -- an
+                # innocent new submission that must not inherit the
+                # cancellation.  Re-fly them instead of settling.
+                requeued = _FlightGroup(flight.key, flight.work)
+                requeued.members.extend(live)
+                for job in live:
+                    job.state = JobState.QUEUED
+                    job.started_at = None
+                self._flights[flight.key] = requeued
+                heapq.heappush(self._heap, (min(j.priority for j in live),
+                                            next(self._seq), requeued))
+                self._cond.notify()
+                self._prune_locked()
+                return
+            for job in live:
+                job.result = result
+                self._settle_job_locked(job, state, error=error)
+            self._prune_locked()
+
+    def _settle_job_locked(self, job: Job, state: JobState,
+                           error: Optional[str] = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = time.time()
+        self._counters[state.value] += 1
+        job._terminal.set()
+
+    def _prune_locked(self) -> None:
+        if len(self._jobs) <= self.max_history:
+            return
+        removable = [j.id for j in sorted(self._jobs.values(),
+                                          key=lambda j: j.submitted_at)
+                     if j.state in TERMINAL_STATES]
+        excess = len(self._jobs) - self.max_history
+        for job_id in removable[:excess]:
+            del self._jobs[job_id]

@@ -32,6 +32,7 @@ from .hashing import graph_content_hash
 from .options import SolverOptions
 from .registry import Solver, SolverRegistry, SolverSpec, default_registry
 from .solve import (
+    SolveCancelledError,
     SolveService,
     SolveStats,
     SweepCell,
@@ -41,6 +42,7 @@ from .solve import (
 )
 
 __all__ = [
+    "SolveCancelledError",
     "PlanCache",
     "PlanCacheKey",
     "graph_content_hash",

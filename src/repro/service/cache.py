@@ -17,10 +17,19 @@ Two tiers:
 * an in-process LRU of :class:`ScheduledResult` objects (``max_entries``
   bounded, thread safe -- the sweep executor hits it concurrently), and
 * an optional on-disk JSON store (one file per key under ``cache_dir``) built
-  on :mod:`repro.utils.serialization`, which persists the ``(R, S)`` matrices
-  across processes.  Disk hits are re-validated and re-packaged against the
-  caller's graph, so a corrupt or mismatched file degrades to a miss, never to
-  a wrong schedule.
+  on the :mod:`repro.utils.serialization` result wire format, which persists
+  the ``(R, S)`` matrices across processes.  Disk hits are re-validated and
+  re-packaged against the caller's graph, so a corrupt or mismatched file
+  degrades to a miss, never to a wrong schedule.  Writes go through a
+  process/thread-unique temp file followed by an atomic ``os.replace``, so
+  concurrent writers (multiple serve workers, or several processes sharing
+  one ``cache_dir``) can never interleave partial JSON.
+
+The cache keeps its own atomic ``hits`` / ``misses`` / ``evictions`` counters
+(:meth:`PlanCache.stats`); they feed the serve daemon's ``/v1/metrics``
+endpoint and are maintained here -- unlike
+:class:`~repro.service.solve.SolveStats`, which only counts solves routed
+through one :class:`~repro.service.solve.SolveService`.
 
 Cached results are shared, not copied: an in-memory hit returns the *same*
 :class:`ScheduledResult` object to every caller (including duplicate cells of
@@ -39,44 +48,13 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
-from ..utils.serialization import schedule_from_json, schedule_to_json
+from ..utils.serialization import RESULT_FORMAT, result_from_wire, result_to_wire
 
 __all__ = ["PlanCacheKey", "PlanCache"]
-
-_DISK_FORMAT = "repro.service.plan/v1"
-
-
-def _jsonable(value):
-    """Best-effort projection of a result's ``extra`` dict onto plain JSON.
-
-    NumPy scalars become Python numbers and tuples become lists; keys whose
-    values still refuse to serialize are dropped rather than failing the
-    store -- a disk entry with partial ``extra`` beats no disk entry.
-    """
-    import numpy as np
-
-    if isinstance(value, dict):
-        out = {}
-        for k, v in value.items():
-            try:
-                json.dumps(converted := _jsonable(v))
-            except (TypeError, ValueError):
-                continue
-            out[str(k)] = converted
-        return out
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    return value
 
 
 class PlanCacheKey(str):
@@ -99,6 +77,10 @@ class PlanCache:
         self.cache_dir = cache_dir
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, ScheduledResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_hits = 0
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -110,18 +92,23 @@ class PlanCache:
 
         Checks the in-memory tier first, then the disk tier (promoting disk
         hits into memory).  ``graph`` is needed to re-materialize disk entries
-        into full :class:`ScheduledResult` objects.  Hit/miss accounting lives
-        in :class:`~repro.service.solve.SolveStats`, not here.
+        into full :class:`ScheduledResult` objects.  Hits and misses are
+        counted atomically (see :meth:`stats`).
         """
         with self._lock:
             result = self._entries.get(key)
             if result is not None:
                 self._entries.move_to_end(key)
+                self._hits += 1
                 return result
         result = self._load_from_disk(key, graph)
-        if result is not None:
-            with self._lock:
+        with self._lock:
+            if result is not None:
+                self._hits += 1
+                self._disk_hits += 1
                 self._put_locked(key, result)
+            else:
+                self._misses += 1
         return result
 
     def put(self, key: PlanCacheKey, result: ScheduledResult) -> None:
@@ -136,6 +123,7 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self._evictions += 1
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
@@ -145,6 +133,33 @@ class PlanCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """One consistent snapshot of the cache counters (taken under the lock).
+
+        ``hit_rate`` is ``hits / (hits + misses)`` over lookups so far, or
+        ``None`` before the first lookup.  ``disk_hits`` counts the subset of
+        ``hits`` served from the on-disk tier.
+        """
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "disk_hits": self._disk_hits,
+                "hit_rate": (self._hits / lookups) if lookups else None,
+            }
+
+    def reset_stats(self) -> None:
+        """Zero the counters (entries themselves are untouched)."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = self._disk_hits = 0
 
     # ------------------------------------------------------------------ #
     # Disk tier
@@ -158,25 +173,15 @@ class PlanCache:
         path = self._path(key)
         if path is None:
             return
+        # Unique temp name per writer + atomic rename: concurrent writers of
+        # the same key race benignly (last replace wins, both files complete).
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
             # Payload construction sits inside the guard too: a custom
             # solver's exotic result fields (solve_time_s=None, odd matrices)
             # must never fail a solve that already succeeded -- same contract
             # as a read-only or full cache directory below.
-            payload = {
-                "format": _DISK_FORMAT,
-                "strategy": result.strategy,
-                "budget": result.budget,
-                "feasible": bool(result.feasible),
-                "solver_status": result.solver_status,
-                "solve_time_s": float(result.solve_time_s),
-                "has_plan": result.plan is not None,
-                "extra": _jsonable(result.extra),
-                "schedule": (schedule_to_json(result.graph, result.matrices,
-                                              strategy=result.strategy)
-                             if result.matrices is not None else None),
-            }
+            payload = result_to_wire(result)
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
             os.replace(tmp, path)
@@ -195,27 +200,14 @@ class PlanCache:
         path = self._path(key)
         if path is None or not os.path.exists(path):
             return None
-        from ..solvers.common import build_scheduled_result
-
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-            if payload.get("format") != _DISK_FORMAT:
+            if payload.get("format") != RESULT_FORMAT:
                 return None
-            matrices = (schedule_from_json(payload["schedule"], graph)
-                        if payload.get("schedule") else None)
-            return build_scheduled_result(
-                payload["strategy"], graph, matrices,
-                budget=payload.get("budget"),
-                feasible=bool(payload.get("feasible")),
-                solve_time_s=float(payload.get("solve_time_s", 0.0)),
-                solver_status=str(payload.get("solver_status", "cached")),
-                generate_plan=bool(payload.get("has_plan", True)),
-                # validate=True: a shape-correct file with wrong R/S content
-                # raises ValueError below and degrades to a miss, upholding the
-                # "never a wrong schedule" promise above.
-                validate=True,
-                extra=payload.get("extra") or {},
-            )
+            # result_from_wire revalidates the matrices against the caller's
+            # graph, so a shape-correct file with wrong R/S content raises
+            # ValueError and degrades to a miss ("never a wrong schedule").
+            return result_from_wire(payload, graph)
         except (OSError, ValueError, KeyError):
             return None

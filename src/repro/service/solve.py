@@ -41,8 +41,20 @@ from .hashing import graph_content_hash
 from .options import SolverOptions
 from .registry import SolverRegistry, SolverSpec, default_registry
 
-__all__ = ["SolveStats", "SweepCell", "SolveService", "get_default_service",
-           "set_default_service", "parallel_map"]
+__all__ = ["SolveStats", "SweepCell", "SolveService", "SolveCancelledError",
+           "get_default_service", "set_default_service", "parallel_map"]
+
+
+class SolveCancelledError(RuntimeError):
+    """A solve was cancelled (via ``should_cancel``) before the solver ran.
+
+    Cooperative cancellation: the hook is consulted at well-defined points --
+    on entry and again right before the solver is invoked -- so a cancel
+    request that arrives while a solver is already inside HiGHS lets the
+    solve finish (and populate the cache) rather than tearing it down.  The
+    solve-as-a-service job queue maps this exception onto the ``cancelled``
+    job state.
+    """
 
 
 def parallel_map(fn: Callable, items: Sequence, *, max_workers: Optional[int] = None,
@@ -162,13 +174,23 @@ class SolveService:
         *,
         use_cache: bool = True,
         strict: bool = False,
+        should_cancel: Optional[Callable[[], bool]] = None,
     ) -> ScheduledResult:
         """Solve one cell, answering from the plan cache when possible.
 
         Treat the returned result as immutable: cache hits hand the same
         object to every caller, so in-place mutation (of ``matrices``,
         ``extra``, ``plan``) would corrupt later lookups of the same cell.
+
+        ``should_cancel`` is the cooperative cancellation hook: a zero-arg
+        callable polled on entry and again after a cache miss, immediately
+        before the solver is invoked.  When it returns true the solve raises
+        :class:`SolveCancelledError` instead of spending solver time.  A
+        cache *hit* still returns normally -- answering from the cache is
+        free, so there is nothing worth cancelling.
         """
+        if should_cancel is not None and should_cancel():
+            raise SolveCancelledError(f"solve of {strategy!r} cancelled before start")
         spec = self.registry.get(strategy)
         options = options if options is not None else self.default_options
 
@@ -183,6 +205,8 @@ class SolveService:
                 self.stats.record(solver_call=False, cache_hit=True)
                 return cached
 
+        if should_cancel is not None and should_cancel():
+            raise SolveCancelledError(f"solve of {strategy!r} cancelled before solver start")
         result, applicable = self._invoke(spec, graph, budget, options, strict=strict)
         self.stats.record(solver_call=True, cache_hit=False if key is not None else None)
         # "not-applicable" placeholders (the strategy raised before solving) are
@@ -222,6 +246,7 @@ class SolveService:
         parallel: bool = True,
         use_cache: bool = True,
         strict: bool = False,
+        should_cancel: Optional[Callable[[], bool]] = None,
     ) -> List[ScheduledResult]:
         """Solve many independent cells, returning results in cell order.
 
@@ -232,6 +257,11 @@ class SolveService:
         heuristics, LPs) parallel results are identical to sequential ones;
         MILP cells that stop on a wall-clock time limit may return a
         different incumbent under parallel CPU contention.
+
+        ``should_cancel`` is forwarded to every cell solve; once it returns
+        true the next cell to start raises :class:`SolveCancelledError`,
+        which aborts the sweep (cells already inside a solver run to
+        completion and stay cached).
         """
         normalized: List[SweepCell] = []
         for cell in cells:
@@ -261,7 +291,8 @@ class SolveService:
 
         def solve_cell(cell: SweepCell) -> ScheduledResult:
             return self.solve(graph, cell.strategy, cell.budget, cell.options,
-                              use_cache=use_cache, strict=strict)
+                              use_cache=use_cache, strict=strict,
+                              should_cancel=should_cancel)
 
         solved = parallel_map(solve_cell, unique, max_workers=max_workers,
                               parallel=parallel, thread_name_prefix="repro-sweep")
@@ -275,6 +306,24 @@ class SolveService:
         """The cross product of strategies and budgets, in deterministic order."""
         return [SweepCell(strategy=s, budget=b, options=options)
                 for s in strategies for b in budgets]
+
+    def statistics(self) -> dict:
+        """One merged snapshot of service activity and cache effectiveness.
+
+        The ``cache`` sub-dict comes straight from :meth:`PlanCache.stats`
+        (``None`` when caching is disabled); the top-level counters are this
+        service's :class:`SolveStats`.  This is the payload behind the serve
+        daemon's ``/v1/metrics``.
+        """
+        with self.stats._lock:
+            snapshot = {
+                "solver_calls": self.stats.solver_calls,
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+            }
+        snapshot["registered_solvers"] = len(self.registry)
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        return snapshot
 
 
 _default_service: Optional[SolveService] = None

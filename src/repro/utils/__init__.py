@@ -1,13 +1,28 @@
 """Miscellaneous helpers: formatting, serialization and timing."""
 
 from .formatting import format_bytes, format_table, geomean
-from .serialization import schedule_from_json, schedule_to_json
+from .serialization import (
+    graph_from_json,
+    graph_from_wire,
+    graph_to_json,
+    graph_to_wire,
+    result_from_wire,
+    result_to_wire,
+    schedule_from_json,
+    schedule_to_json,
+)
 from .timer import Timer
 
 __all__ = [
     "format_bytes",
     "format_table",
     "geomean",
+    "graph_from_json",
+    "graph_from_wire",
+    "graph_to_json",
+    "graph_to_wire",
+    "result_from_wire",
+    "result_to_wire",
     "schedule_from_json",
     "schedule_to_json",
     "Timer",

@@ -1,28 +1,63 @@
-"""JSON (de)serialization of schedules.
+"""JSON (de)serialization: schedules, graphs and solve results.
 
 Checkmate solves the MILP once per (architecture, batch size, budget) and then
 reuses the schedule for millions of training iterations, so schedules need to
-be persistable.  We serialize the ``(R, S)`` matrices together with enough
-metadata to detect mismatched graphs on reload.
+be persistable.  With the solve-as-a-service daemon the same need extends to
+the other two halves of a solve: clients upload a :class:`DFGraph` over the
+wire and download a :class:`~repro.core.schedule.ScheduledResult`, and the
+plan cache persists results across processes.  This module is the single wire
+format for all three:
+
+* :func:`schedule_to_json` / :func:`schedule_from_json` -- the ``(R, S)``
+  decision matrices plus enough metadata to detect mismatched graphs;
+* :func:`graph_to_wire` / :func:`graph_from_wire` -- a complete
+  :class:`DFGraph` (nodes, deps, memories, ``meta``).  Round-tripping
+  preserves the content hash, so a graph uploaded to the solve server hits
+  the same plan-cache entries as the original object;
+* :func:`result_to_wire` / :func:`result_from_wire` -- a
+  :class:`ScheduledResult` *without* its graph (results are resolved against
+  the caller's graph on decode, so a corrupt payload degrades to an error,
+  never to a silently wrong schedule).
+
+``*_wire`` functions speak plain-JSON dicts (what an HTTP body or a cache
+file holds after ``json.loads``); ``*_json`` convenience wrappers speak
+strings.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from ..core.dfgraph import DFGraph
-from ..core.schedule import ScheduleMatrices
+from ..core.dfgraph import DFGraph, NodeInfo
+from ..core.schedule import ScheduleMatrices, ScheduledResult
 
-__all__ = ["schedule_to_json", "schedule_from_json"]
+__all__ = [
+    "SCHEDULE_FORMAT",
+    "GRAPH_FORMAT",
+    "RESULT_FORMAT",
+    "schedule_to_json",
+    "schedule_from_json",
+    "graph_to_wire",
+    "graph_from_wire",
+    "graph_to_json",
+    "graph_from_json",
+    "result_to_wire",
+    "result_from_wire",
+    "jsonable",
+]
+
+SCHEDULE_FORMAT = "repro.checkmate.schedule/v1"
+GRAPH_FORMAT = "repro.checkmate.dfgraph/v1"
+RESULT_FORMAT = "repro.checkmate.result/v1"
 
 
 def schedule_to_json(graph: DFGraph, matrices: ScheduleMatrices, *, strategy: str = "") -> str:
     """Serialize a schedule to a JSON string."""
     payload = {
-        "format": "repro.checkmate.schedule/v1",
+        "format": SCHEDULE_FORMAT,
         "graph_name": graph.name,
         "graph_size": graph.size,
         "graph_num_edges": graph.num_edges,
@@ -36,7 +71,7 @@ def schedule_to_json(graph: DFGraph, matrices: ScheduleMatrices, *, strategy: st
 def schedule_from_json(data: str, graph: Optional[DFGraph] = None) -> ScheduleMatrices:
     """Load a schedule from JSON, optionally validating it against a graph."""
     payload = json.loads(data)
-    if payload.get("format") != "repro.checkmate.schedule/v1":
+    if payload.get("format") != SCHEDULE_FORMAT:
         raise ValueError("not a serialized repro schedule")
     R = np.asarray(payload["R"], dtype=np.uint8)
     S = np.asarray(payload["S"], dtype=np.uint8)
@@ -47,3 +82,192 @@ def schedule_from_json(data: str, graph: Optional[DFGraph] = None) -> ScheduleMa
                 f"but the supplied graph has {graph.size}"
             )
     return ScheduleMatrices(R, S)
+
+
+# --------------------------------------------------------------------------- #
+# meta encoding
+# --------------------------------------------------------------------------- #
+# ``DFGraph.meta`` is typed ``Dict[str, object]`` but in practice holds two
+# shapes JSON cannot represent natively: dicts with integer keys (the
+# autodiff ``grad_index`` that the segmenting baselines index with ints) and
+# numpy arrays/scalars.  Both are encoded as tagged lists so that decoding
+# restores the exact Python types -- a round-tripped graph must produce the
+# same ``graph_content_hash`` as the original, and the baselines must keep
+# working on it.
+
+_DICT_TAG = "__kvdict__"
+_NDARRAY_TAG = "__ndarray__"
+
+
+def _encode_meta(value):
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value):
+            return {k: _encode_meta(v) for k, v in value.items()}
+        return [_DICT_TAG, [[_encode_meta(k), _encode_meta(v)]
+                            for k, v in value.items()]]
+    if isinstance(value, np.ndarray):
+        return [_NDARRAY_TAG, value.dtype.str, list(value.shape), value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_encode_meta(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"meta value {value!r} of type {type(value).__name__} "
+                    "is not wire-serializable")
+
+
+def _decode_meta(value):
+    if isinstance(value, dict):
+        return {k: _decode_meta(v) for k, v in value.items()}
+    if isinstance(value, list):
+        if len(value) == 2 and value[0] == _DICT_TAG:
+            return {_decode_meta(k): _decode_meta(v) for k, v in value[1]}
+        if len(value) == 4 and value[0] == _NDARRAY_TAG:
+            return np.asarray(value[3], dtype=np.dtype(value[1])).reshape(value[2])
+        return [_decode_meta(v) for v in value]
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# DFGraph wire format
+# --------------------------------------------------------------------------- #
+def graph_to_wire(graph: DFGraph) -> dict:
+    """Serialize a :class:`DFGraph` to a plain-JSON dict.
+
+    The payload covers everything that participates in the content hash
+    (nodes, deps, input/parameter memory, name, ``meta``), so
+    ``graph_content_hash(graph_from_wire(graph_to_wire(g))) ==
+    graph_content_hash(g)``.
+    """
+    return {
+        "format": GRAPH_FORMAT,
+        "name": graph.name,
+        "nodes": [[v.name, float(v.cost), int(v.memory), bool(v.is_backward),
+                   v.layer_id] for v in graph.nodes],
+        "deps": {str(j): list(graph.deps[j]) for j in range(graph.size)},
+        "input_memory": int(graph.input_memory),
+        "parameter_memory": int(graph.parameter_memory),
+        "meta": _encode_meta(graph.meta),
+    }
+
+
+def graph_from_wire(payload: dict) -> DFGraph:
+    """Reconstruct a :class:`DFGraph` from :func:`graph_to_wire` output."""
+    if not isinstance(payload, dict) or payload.get("format") != GRAPH_FORMAT:
+        raise ValueError("not a serialized repro DFGraph")
+    nodes = [NodeInfo(name=str(n[0]), cost=float(n[1]), memory=int(n[2]),
+                      is_backward=bool(n[3]),
+                      layer_id=None if n[4] is None else int(n[4]))
+             for n in payload["nodes"]]
+    deps = {int(j): [int(i) for i in parents]
+            for j, parents in payload["deps"].items()}
+    return DFGraph(
+        nodes=nodes,
+        deps=deps,
+        input_memory=int(payload.get("input_memory", 0)),
+        parameter_memory=int(payload.get("parameter_memory", 0)),
+        name=str(payload.get("name", "graph")),
+        meta=_decode_meta(payload.get("meta") or {}),
+    )
+
+
+def graph_to_json(graph: DFGraph) -> str:
+    """String-typed convenience wrapper around :func:`graph_to_wire`."""
+    return json.dumps(graph_to_wire(graph))
+
+
+def graph_from_json(data: Union[str, bytes, dict]) -> DFGraph:
+    """Accept a JSON string (or an already-parsed dict) and decode the graph."""
+    payload = json.loads(data) if isinstance(data, (str, bytes)) else data
+    return graph_from_wire(payload)
+
+
+# --------------------------------------------------------------------------- #
+# ScheduledResult wire format
+# --------------------------------------------------------------------------- #
+def jsonable(value):
+    """Best-effort projection of a result's ``extra`` dict onto plain JSON.
+
+    NumPy scalars become Python numbers and tuples become lists; keys whose
+    values still refuse to serialize are dropped rather than failing the
+    encode -- a payload with partial ``extra`` beats no payload.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            try:
+                json.dumps(converted := jsonable(v))
+            except (TypeError, ValueError):
+                continue
+            out[str(k)] = converted
+        return out
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def result_to_wire(result: ScheduledResult) -> dict:
+    """Serialize a :class:`ScheduledResult` to a plain-JSON dict.
+
+    The graph itself is *not* embedded (the caller already has it -- a server
+    client uploaded it, a cache lookup supplied it); the schedule payload
+    carries the graph size so decode-time mismatches are detected.
+
+    ``compute_cost`` is ``None`` when not finite (infeasible results carry
+    ``float("inf")``, which strict JSON per RFC 8259 cannot represent --
+    non-Python clients would choke on a bare ``Infinity`` token).  Decoding
+    recomputes the metrics from the schedule anyway, so nothing is lost.
+    """
+    import math
+
+    cost = float(result.compute_cost)
+    return {
+        "format": RESULT_FORMAT,
+        "strategy": result.strategy,
+        "budget": result.budget,
+        "feasible": bool(result.feasible),
+        "solver_status": result.solver_status,
+        "solve_time_s": float(result.solve_time_s),
+        "compute_cost": cost if math.isfinite(cost) else None,
+        "peak_memory": int(result.peak_memory),
+        "has_plan": result.plan is not None,
+        "extra": jsonable(result.extra),
+        "schedule": (schedule_to_json(result.graph, result.matrices,
+                                      strategy=result.strategy)
+                     if result.matrices is not None else None),
+    }
+
+
+def result_from_wire(payload: dict, graph: DFGraph) -> ScheduledResult:
+    """Rebuild a :class:`ScheduledResult` against the caller's ``graph``.
+
+    The schedule matrices are re-validated and the derived metrics (compute
+    cost, peak memory, plan) recomputed from the graph, so a payload that
+    does not match the graph raises ``ValueError`` instead of producing a
+    wrong schedule.
+    """
+    from ..solvers.common import build_scheduled_result
+
+    if not isinstance(payload, dict) or payload.get("format") != RESULT_FORMAT:
+        raise ValueError("not a serialized repro solve result")
+    matrices = (schedule_from_json(payload["schedule"], graph)
+                if payload.get("schedule") else None)
+    return build_scheduled_result(
+        str(payload["strategy"]), graph, matrices,
+        budget=payload.get("budget"),
+        feasible=bool(payload.get("feasible")),
+        solve_time_s=float(payload.get("solve_time_s", 0.0)),
+        solver_status=str(payload.get("solver_status", "cached")),
+        generate_plan=bool(payload.get("has_plan", True)),
+        validate=True,
+        extra=payload.get("extra") or {},
+    )

@@ -1,0 +1,130 @@
+"""CLI smoke tests: ``repro`` subcommands driven through ``subprocess``.
+
+The console script entry point is ``repro.cli:main`` (see setup.py); the
+tests invoke it as ``python -m repro`` so they work without an installed
+package, with ``PYTHONPATH`` pointing at the live source tree.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cli import parse_budget
+from repro.server import ServeClient, SolveServer
+
+
+def run_cli(*args: str, timeout: float = 120.0) -> subprocess.CompletedProcess:
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, env=env,
+                          timeout=timeout)
+
+
+class TestParseBudget:
+    def test_units(self):
+        assert parse_budget("1024") == 1024
+        assert parse_budget("512MiB") == 512 * 2**20
+        assert parse_budget("2GiB") == 2 * 2**30
+        assert parse_budget("1.5 GiB") == 1.5 * 2**30
+        assert parse_budget("2GB") == 2 * 10**9
+
+    def test_unbounded(self):
+        assert parse_budget("none") is None
+        assert parse_budget("unbounded") is None
+
+    def test_rejects_garbage(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_budget("a lot")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_budget("12parsecs")
+
+
+class TestCliOffline:
+    def test_help(self):
+        proc = run_cli("--help")
+        assert proc.returncode == 0
+        for sub in ("serve", "submit", "sweep", "status", "strategies"):
+            assert sub in proc.stdout
+
+    def test_strategies_local(self):
+        proc = run_cli("strategies")
+        assert proc.returncode == 0
+        assert "checkmate_ilp" in proc.stdout
+        assert "checkpoint_all" in proc.stdout
+
+    def test_missing_graph_source_is_clean_usage_error(self):
+        proc = run_cli("submit", "--strategy", "chen_sqrt_n")
+        assert proc.returncode == 2
+        assert "exactly one of --preset or --graph" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unreachable_server_is_clean_error(self):
+        proc = run_cli("status", "--server", "http://127.0.0.1:9",
+                       "--http-timeout", "2")
+        assert proc.returncode == 1
+        assert "error" in proc.stderr.lower()
+
+
+class TestCliAgainstServer:
+    @pytest.fixture()
+    def server(self):
+        with SolveServer(port=0, num_workers=2) as srv:
+            yield srv
+
+    def test_submit_roundtrip(self, server, tmp_path):
+        schedule_path = tmp_path / "plan.json"
+        proc = run_cli("submit", "--server", server.url,
+                       "--preset", "resnet_tiny", "--strategy", "ap_sqrt_n",
+                       "--budget", "8GiB", "--save-schedule", str(schedule_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+        assert schedule_path.exists()
+        # The saved artifact is a loadable schedule.
+        from repro.utils import schedule_from_json
+        matrices = schedule_from_json(schedule_path.read_text())
+        assert matrices.num_stages == matrices.num_nodes
+
+    def test_sweep_and_status(self, server):
+        proc = run_cli("sweep", "--server", server.url,
+                       "--preset", "resnet_tiny",
+                       "--strategies", "checkpoint_all,ap_sqrt_n",
+                       "--budgets", "none,8GiB")
+        assert proc.returncode == 0, proc.stderr
+        assert "checkpoint-all" in proc.stdout
+
+        proc = run_cli("status", "--server", server.url)
+        assert proc.returncode == 0, proc.stderr
+        assert "queue depth" in proc.stdout
+        assert "solve latency" in proc.stdout
+
+    def test_status_of_single_job(self, server):
+        client = ServeClient(server.url)
+        handle = client.submit_solve(preset="resnet_tiny",
+                                     strategy="checkpoint_all")
+        client.wait(handle["job_id"], timeout=60)
+        proc = run_cli("status", "--server", server.url, handle["job_id"])
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+
+    def test_submit_infeasible_result_renders(self, server):
+        # Infeasible results arrive with compute_cost=null over the wire;
+        # the table must render them, not crash formatting None.
+        proc = run_cli("submit", "--server", server.url,
+                       "--preset", "resnet_tiny",
+                       "--strategy", "linearized_greedy", "--budget", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "no (" in proc.stdout
+
+    def test_submit_unknown_strategy_fails_cleanly(self, server):
+        proc = run_cli("submit", "--server", server.url,
+                       "--preset", "resnet_tiny", "--strategy", "nope")
+        assert proc.returncode == 1
+        assert "unknown solver" in proc.stderr

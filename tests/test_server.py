@@ -1,0 +1,487 @@
+"""Tests for the solve-as-a-service subsystem: job queue, HTTP API, metrics.
+
+The end-to-end dedup test is the PR's acceptance criterion: N concurrent
+clients submitting the identical (graph, strategy, budget) cell must trigger
+exactly one solver invocation, all receive identical results, and the
+``/v1/metrics`` counters must reflect the deduplication.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines import solve_checkpoint_all
+from repro.server import (
+    Job,
+    JobQueue,
+    JobState,
+    ServeAPIError,
+    ServeClient,
+    SolveServer,
+)
+from repro.service import (
+    PlanCache,
+    SolverOptions,
+    SolverRegistry,
+    SolverSpec,
+    SolveService,
+    default_registry,
+)
+
+from helpers import ample_budget
+
+
+# --------------------------------------------------------------------------- #
+# Instrumented registries
+# --------------------------------------------------------------------------- #
+class Gate:
+    """A solver whose execution blocks until released, counting invocations."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def solve(self, graph, budget=None, **kwargs):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        assert self.release.wait(30), "gate was never released"
+        return solve_checkpoint_all(graph, budget)
+
+
+def counting_registry(wrapped_key: str = "ap_sqrt_n"):
+    """The default registry plus a gate solver and a counted wrapper."""
+    registry = default_registry()
+    gate = Gate()
+    registry.register(SolverSpec(
+        key="gated", description="blocks until released (test fixture)",
+        solve=gate.solve))
+    inner = registry.get(wrapped_key)
+    counter = {"calls": 0}
+    lock = threading.Lock()
+
+    def counted(graph, budget=None, **kwargs):
+        with lock:
+            counter["calls"] += 1
+        return inner.solve(graph, budget, **kwargs)
+
+    registry.register(SolverSpec(
+        key=wrapped_key, description=inner.description, solve=counted,
+        option_map=inner.option_map), overwrite=True)
+    return registry, gate, counter
+
+
+def failing_registry():
+    registry = default_registry()
+
+    def explode(graph, budget=None, **kwargs):
+        raise RuntimeError("synthetic solver crash")
+
+    registry.register(SolverSpec(
+        key="explode", description="always fails (test fixture)", solve=explode))
+    return registry
+
+
+# --------------------------------------------------------------------------- #
+# JobQueue lifecycle (no HTTP)
+# --------------------------------------------------------------------------- #
+class TestJobQueueLifecycle:
+    def test_submit_and_complete(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=2) as queue:
+            job = queue.submit_solve(chain5_train, "checkpoint_all")
+            assert job.wait(30)
+            assert job.state is JobState.DONE
+            assert job.result.feasible
+            assert job.started_at is not None and job.finished_at is not None
+            assert job.error is None
+
+    def test_failed_job_reports_error(self, chain5_train):
+        with JobQueue(SolveService(registry=failing_registry(), cache=None),
+                      num_workers=1) as queue:
+            job = queue.submit_solve(chain5_train, "explode")
+            assert job.wait(30)
+            assert job.state is JobState.FAILED
+            assert "synthetic solver crash" in job.error
+            assert job.result is None
+
+    def test_unknown_strategy_rejected_at_submission(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=1) as queue:
+            with pytest.raises(KeyError):
+                queue.submit_solve(chain5_train, "not-a-strategy")
+
+    def test_cancel_queued_job(self, chain5_train, diamond_train):
+        registry, gate, _ = counting_registry()
+        with JobQueue(SolveService(registry=registry, cache=None),
+                      num_workers=1) as queue:
+            blocker = queue.submit_solve(chain5_train, "gated")
+            assert gate.started.wait(30)
+            victim = queue.submit_solve(diamond_train, "checkpoint_all")
+            cancelled = queue.cancel(victim.id)
+            assert cancelled.state is JobState.CANCELLED
+            assert victim.wait(1)
+            gate.release.set()
+            assert blocker.wait(30)
+            assert blocker.state is JobState.DONE
+            # The cancelled job never ran.
+            assert victim.started_at is None
+            assert victim.result is None
+
+    def test_cancelling_whole_flight_skips_solver(self, chain5_train, diamond_train):
+        registry, gate, counter = counting_registry()
+        with JobQueue(SolveService(registry=registry, cache=None),
+                      num_workers=1) as queue:
+            blocker = queue.submit_solve(chain5_train, "gated")
+            assert gate.started.wait(30)
+            budget = ample_budget(diamond_train)
+            jobs = [queue.submit_solve(diamond_train, "ap_sqrt_n", budget)
+                    for _ in range(3)]
+            assert [j.deduplicated for j in jobs] == [False, True, True]
+            for j in jobs:
+                queue.cancel(j.id)
+            gate.release.set()
+            assert blocker.wait(30)
+            queue.shutdown(wait=True)  # drain: pops the abandoned flight
+            assert counter["calls"] == 0
+            assert all(j.state is JobState.CANCELLED for j in jobs)
+
+    def test_cancel_terminal_job_is_noop(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=1) as queue:
+            job = queue.submit_solve(chain5_train, "checkpoint_all")
+            assert job.wait(30)
+            assert queue.cancel(job.id).state is JobState.DONE
+
+    def test_priority_orders_queued_work(self, chain5_train, diamond_train,
+                                         varied_chain_train):
+        registry, gate, _ = counting_registry()
+        order = []
+        with JobQueue(SolveService(registry=registry, cache=None),
+                      num_workers=1) as queue:
+            blocker = queue.submit_solve(chain5_train, "gated")
+            assert gate.started.wait(30)
+            low = queue.submit_solve(diamond_train, "checkpoint_all", priority=5)
+            high = queue.submit_solve(varied_chain_train, "checkpoint_all",
+                                      priority=-5)
+            gate.release.set()
+            for job in (blocker, low, high):
+                assert job.wait(30)
+            order = sorted([low, high], key=lambda j: j.started_at)
+        assert order[0] is high  # lower priority value ran first
+
+    def test_sweep_job(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=2) as queue:
+            budget = ample_budget(chain5_train)
+            job = queue.submit_sweep(
+                chain5_train, [("checkpoint_all", budget), ("chen_sqrt_n", budget)])
+            assert job.wait(30)
+            assert job.state is JobState.DONE
+            assert [r.strategy for r in job.result] == \
+                   ["checkpoint-all", "chen-sqrt(n)"]
+
+    def test_sweep_requires_cells(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=1) as queue:
+            with pytest.raises(ValueError):
+                queue.submit_sweep(chain5_train, [])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(SolveService(), num_workers=0)
+
+    def test_history_pruning_keeps_active_jobs(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=1, max_history=3) as queue:
+            jobs = [queue.submit_solve(chain5_train, "checkpoint_all",
+                                       ample_budget(chain5_train) + i)
+                    for i in range(6)]
+            for j in jobs:
+                assert j.wait(30)
+            assert len(queue.jobs()) <= 3
+
+    def test_restart_after_undrained_shutdown(self, chain5_train):
+        # A drain=False shutdown must retire queued flights: a later restart
+        # + identical submission must run fresh, not dedup onto a dead flight.
+        queue = JobQueue(SolveService(), num_workers=1)  # never started yet
+        budget = ample_budget(chain5_train)
+        first = queue.submit_solve(chain5_train, "checkpoint_all", budget)
+        queue.shutdown(wait=True, drain=False)
+        assert first.state is JobState.CANCELLED
+        try:
+            queue.start()
+            second = queue.submit_solve(chain5_train, "checkpoint_all", budget)
+            assert not second.deduplicated
+            assert second.wait(30)
+            assert second.state is JobState.DONE
+        finally:
+            queue.shutdown(wait=True, drain=False)
+
+    def test_late_joiner_survives_flight_cancellation(self, chain5_train):
+        # A submission that joins a flight after its abandonment verdict must
+        # be re-flown, not spuriously settled as cancelled.
+        registry = default_registry()
+        release = threading.Event()
+        started = threading.Event()
+        calls = {"n": 0}
+
+        def cancellable(graph, budget=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                started.set()
+                assert release.wait(30)
+                # Simulates the should_cancel verdict firing mid-flight.
+                from repro.service import SolveCancelledError
+                raise SolveCancelledError("all members cancelled")
+            return solve_checkpoint_all(graph, budget)
+
+        registry.register(SolverSpec(key="cancellable",
+                                     description="test fixture",
+                                     solve=cancellable))
+        with JobQueue(SolveService(registry=registry, cache=None),
+                      num_workers=1) as queue:
+            first = queue.submit_solve(chain5_train, "cancellable")
+            assert started.wait(30)
+            queue.cancel(first.id)
+            late = queue.submit_solve(chain5_train, "cancellable")
+            assert late.deduplicated  # joined the in-flight group
+            release.set()
+            assert late.wait(30)
+            assert late.state is JobState.DONE
+            assert first.state is JobState.CANCELLED
+
+    def test_metrics_shape(self, chain5_train):
+        with JobQueue(SolveService(), num_workers=1) as queue:
+            job = queue.submit_solve(chain5_train, "checkpoint_all")
+            assert job.wait(30)
+            metrics = queue.metrics()
+            assert metrics["jobs"]["submitted"] == 1
+            assert metrics["jobs_by_state"]["done"] == 1
+            assert metrics["solve_latency"]["count"] == 1
+            assert metrics["service"]["solver_calls"] == 1
+            assert metrics["service"]["cache"]["misses"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# HTTP API end-to-end
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def server():
+    with SolveServer(port=0, num_workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url, timeout=30)
+
+
+class TestHttpApi:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+    def test_solve_by_graph_upload(self, client, chain5_train):
+        handle = client.submit_solve(graph=chain5_train,
+                                     strategy="checkpoint_all")
+        status = client.wait(handle["job_id"], timeout=30)
+        assert status["state"] == "done"
+        payload = client.result(handle["job_id"])
+        assert payload["result"]["feasible"] is True
+        assert payload["result"]["strategy"] == "checkpoint-all"
+
+    def test_solve_by_preset(self, client):
+        handle = client.submit_solve(preset="resnet_tiny",
+                                     strategy="checkpoint_all")
+        status = client.wait(handle["job_id"], timeout=60)
+        assert status["state"] == "done"
+        assert client.result(handle["job_id"])["result"]["feasible"] is True
+
+    def test_sweep_grid(self, client):
+        handle = client.submit_sweep(preset="resnet_tiny",
+                                     strategies=["checkpoint_all", "ap_sqrt_n"],
+                                     budgets=[None, 8 * 2**30])
+        status = client.wait(handle["job_id"], timeout=60)
+        assert status["state"] == "done"
+        results = client.result(handle["job_id"])["results"]
+        assert len(results) == 4
+
+    def test_result_conflict_while_pending(self, chain5_train):
+        # A queued/running job answers 409, not a broken payload.
+        registry, gate, _ = counting_registry()
+        with SolveServer(port=0, service=SolveService(registry=registry),
+                         num_workers=1) as gated_srv:
+            gated_client = ServeClient(gated_srv.url, timeout=30)
+            handle = gated_client.submit_solve(graph=chain5_train,
+                                               strategy="gated")
+            assert gate.started.wait(30)
+            with pytest.raises(ServeAPIError) as err:
+                gated_client.result(handle["job_id"])
+            assert err.value.status == 409
+            gate.release.set()
+
+    def test_cancel_endpoint(self, chain5_train, diamond_train):
+        registry, gate, _ = counting_registry()
+        with SolveServer(port=0, service=SolveService(registry=registry),
+                         num_workers=1) as srv:
+            client = ServeClient(srv.url, timeout=30)
+            client.submit_solve(graph=chain5_train, strategy="gated")
+            assert gate.started.wait(30)
+            victim = client.submit_solve(graph=diamond_train,
+                                         strategy="checkpoint_all")
+            assert client.cancel(victim["job_id"])["state"] == "cancelled"
+            with pytest.raises(ServeAPIError) as err:
+                client.result(victim["job_id"])
+            assert err.value.status == 409
+            assert "cancelled" in err.value.message
+            gate.release.set()
+
+    def test_failed_job_surfaces_error(self, chain5_train):
+        with SolveServer(port=0,
+                         service=SolveService(registry=failing_registry(),
+                                              cache=None),
+                         num_workers=1) as srv:
+            client = ServeClient(srv.url, timeout=30)
+            handle = client.submit_solve(graph=chain5_train, strategy="explode")
+            status = client.wait(handle["job_id"], timeout=30)
+            assert status["state"] == "failed"
+            assert "synthetic solver crash" in status["error"]
+
+    def test_error_statuses(self, client):
+        with pytest.raises(ServeAPIError) as err:
+            client.job("feedcafe0000")
+        assert err.value.status == 404
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_solve(preset="not-a-preset", strategy="checkpoint_all")
+        assert err.value.status == 404
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_solve(preset="resnet_tiny", strategy="checkpoint_all",
+                                options={"warp_speed": True})
+        assert err.value.status == 400
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_solve(preset="resnet_tiny", strategy="checkpoint_all",
+                                options={"checkpoints": 5})  # not iterable
+        assert err.value.status == 400
+        with pytest.raises(ServeAPIError) as err:
+            client._request("GET", "/v1/nope")
+        assert err.value.status == 404
+
+    def test_keepalive_connection_survives_error_with_body(self, server):
+        # An errored POST must still drain its body, or the next request on
+        # the same HTTP/1.1 connection would parse leftover bytes.
+        import http.client
+        import json as json_mod
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            body = json_mod.dumps({"pad": "x" * 4096})
+            conn.request("POST", "/v1/nope", body=body,
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().read() and True  # 404, body consumed
+            conn.request("GET", "/v1/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json_mod.loads(response.read())["status"] == "ok"
+        finally:
+            conn.close()
+
+    def test_strategies_and_presets_endpoints(self, client):
+        strategies = {e["key"] for e in client.strategies()}
+        assert {"checkpoint_all", "checkmate_ilp", "checkmate_approx"} <= strategies
+        presets = client.presets()
+        assert {p["key"] for p in presets["presets"]} >= {"unet", "vgg16"}
+
+    def test_jobs_listing_filter(self, client, chain5_train):
+        handle = client.submit_solve(graph=chain5_train, strategy="checkpoint_all")
+        client.wait(handle["job_id"], timeout=30)
+        assert any(j["id"] == handle["job_id"] for j in client.jobs("done"))
+        assert client.jobs("queued") == []
+        with pytest.raises(ServeAPIError):
+            client.jobs("levitating")
+
+
+class TestSingleFlightE2E:
+    """Acceptance: 8 concurrent duplicate U-Net submissions -> 1 solver call."""
+
+    def test_concurrent_duplicates_share_one_solve(self):
+        registry, gate, counter = counting_registry("checkmate_approx")
+        service = SolveService(registry=registry, cache=PlanCache())
+        with SolveServer(port=0, service=service, num_workers=1) as srv:
+            client = ServeClient(srv.url, timeout=60)
+            # Occupy the single worker so all 8 duplicates pile up queued.
+            client.submit_solve(preset="resnet_tiny", strategy="gated")
+            assert gate.started.wait(30)
+
+            budget = 2 * 2**30
+            handles, errors = [], []
+
+            def submit():
+                try:
+                    handles.append(client.submit_solve(
+                        preset="unet", strategy="checkmate_approx",
+                        budget=budget, options={"seed": 0}))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(handles) == 8
+            # All 8 submissions landed while the flight was queued: exactly
+            # one leader, seven followers.
+            assert sum(h["deduplicated"] for h in handles) == 7
+
+            gate.release.set()
+            payloads = []
+            for h in handles:
+                status = client.wait(h["job_id"], timeout=120)
+                assert status["state"] == "done"
+                payloads.append(client.result(h["job_id"])["result"])
+
+            # Exactly one solver invocation for all 8 jobs...
+            assert counter["calls"] == 1
+            # ...and byte-identical results.
+            assert all(p == payloads[0] for p in payloads[1:])
+            assert payloads[0]["feasible"] is True
+
+            # A ninth, *sequential* identical submission is served by the
+            # plan cache: still no extra solver call, and /v1/metrics shows
+            # the cache hit.
+            ninth = client.submit_solve(preset="unet",
+                                        strategy="checkmate_approx",
+                                        budget=budget, options={"seed": 0})
+            assert client.wait(ninth["job_id"], timeout=60)["state"] == "done"
+            assert counter["calls"] == 1
+
+            metrics = client.metrics()
+            assert metrics["jobs"]["deduplicated"] == 7
+            cache = metrics["service"]["cache"]
+            assert cache["hits"] >= 1
+            assert cache["hit_rate"] > 0
+            assert metrics["solve_latency"]["p50_s"] is not None
+            assert metrics["solve_latency"]["p95_s"] is not None
+
+
+class TestLatencyWindow:
+    def test_quantiles(self):
+        from repro.server import LatencyWindow
+        window = LatencyWindow(maxlen=100)
+        assert window.quantile(0.5) is None
+        for v in range(1, 101):
+            window.record(v / 100.0)
+        snap = window.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_s"] == pytest.approx(0.5, abs=0.02)
+        assert snap["p95_s"] == pytest.approx(0.95, abs=0.02)
+
+    def test_window_bounded(self):
+        from repro.server import LatencyWindow
+        window = LatencyWindow(maxlen=10)
+        for v in range(1000):
+            window.record(float(v))
+        snap = window.snapshot()
+        assert snap["count"] == 1000
+        assert snap["window"] == 10
+        assert snap["p50_s"] >= 990  # only recent samples remain

@@ -1,9 +1,26 @@
-"""Tests for formatting helpers, the timer and schedule serialization."""
+"""Tests for formatting helpers, the timer and the wire serialization."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.core import checkpoint_all_schedule, linear_graph
-from repro.utils import Timer, format_bytes, format_table, geomean, schedule_from_json, schedule_to_json
+from repro.service import SolveService, graph_content_hash
+from repro.utils import (
+    Timer,
+    format_bytes,
+    format_table,
+    geomean,
+    graph_from_json,
+    graph_from_wire,
+    graph_to_json,
+    graph_to_wire,
+    result_from_wire,
+    result_to_wire,
+    schedule_from_json,
+    schedule_to_json,
+)
 
 
 class TestFormatting:
@@ -56,3 +73,88 @@ class TestSerialization:
     def test_bad_format_rejected(self):
         with pytest.raises(ValueError):
             schedule_from_json('{"format": "something-else"}')
+
+
+class TestGraphWireFormat:
+    def test_round_trip_preserves_content_hash(self, tiny_unet_train):
+        # The server's dedup/caching contract: an uploaded graph must hit the
+        # same plan-cache entries as the original object.
+        restored = graph_from_json(graph_to_json(tiny_unet_train))
+        assert graph_content_hash(restored) == graph_content_hash(tiny_unet_train)
+
+    def test_round_trip_preserves_structure_and_meta(self, tiny_unet_train):
+        g = tiny_unet_train
+        restored = graph_from_wire(graph_to_wire(g))
+        assert restored.size == g.size
+        assert restored.deps == g.deps
+        assert restored.name == g.name
+        assert [v.name for v in restored.nodes] == [v.name for v in g.nodes]
+        # grad_index survives JSON with *integer* keys (the segmenting
+        # baselines index it with ints; plain JSON would stringify them).
+        assert restored.meta["grad_index"] == g.meta["grad_index"]
+        assert all(isinstance(k, int) for k in restored.meta["grad_index"])
+
+    def test_round_tripped_graph_is_solvable(self, tiny_unet_train):
+        restored = graph_from_json(graph_to_json(tiny_unet_train))
+        result = SolveService(cache=None).solve(restored, "ap_sqrt_n")
+        assert result.feasible
+
+    def test_wire_payload_is_plain_json(self, diamond_train):
+        payload = graph_to_wire(diamond_train)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_meta_numpy_values_round_trip(self, diamond_graph):
+        g = diamond_graph
+        g.meta["weights"] = np.arange(6, dtype=np.int32).reshape(2, 3)
+        g.meta["scalar"] = np.float64(1.5)
+        try:
+            restored = graph_from_wire(graph_to_wire(g))
+        finally:
+            del g.meta["weights"], g.meta["scalar"]
+        assert isinstance(restored.meta["weights"], np.ndarray)
+        assert restored.meta["weights"].dtype == np.int32
+        assert (restored.meta["weights"] == np.arange(6).reshape(2, 3)).all()
+        assert restored.meta["scalar"] == 1.5
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_wire({"format": "something-else"})
+
+
+class TestResultWireFormat:
+    def test_round_trip(self, chain5_train):
+        service = SolveService(cache=None)
+        original = service.solve(chain5_train, "chen_sqrt_n")
+        payload = result_to_wire(original)
+        assert json.loads(json.dumps(payload)) == payload  # plain JSON
+        restored = result_from_wire(payload, chain5_train)
+        assert restored.strategy == original.strategy
+        assert restored.feasible == original.feasible
+        assert restored.compute_cost == pytest.approx(original.compute_cost)
+        assert restored.peak_memory == original.peak_memory
+        assert (restored.matrices.R == original.matrices.R).all()
+        assert (restored.matrices.S == original.matrices.S).all()
+        assert restored.plan is not None
+
+    def test_graph_mismatch_degrades_to_error(self, chain5_train, diamond_train):
+        service = SolveService(cache=None)
+        payload = result_to_wire(service.solve(chain5_train, "chen_sqrt_n"))
+        with pytest.raises(ValueError):
+            result_from_wire(payload, diamond_train)
+
+    def test_infeasible_result_round_trips_without_schedule(self, chain5_train):
+        service = SolveService(cache=None)
+        original = service.solve(chain5_train, "linearized_greedy",
+                                 budget=1)  # hopeless budget: no feasible b
+        assert not original.feasible
+        assert original.matrices is None
+        payload = result_to_wire(original)
+        assert payload["schedule"] is None
+        # compute_cost is inf for schedule-less results; the wire payload
+        # must stay strict-JSON (no bare Infinity token for non-Python
+        # clients), so it maps to null.
+        assert payload["compute_cost"] is None
+        json.dumps(payload, allow_nan=False)
+        restored = result_from_wire(payload, chain5_train)
+        assert not restored.feasible
+        assert restored.solver_status == original.solver_status
