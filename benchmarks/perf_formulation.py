@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Repeatable perf harness for the compiled-formulation fast path.
+
+Measures, per experiment preset (stdlib ``time.perf_counter`` only, no
+pytest-benchmark):
+
+* **compile** -- one cold ``CompiledFormulation`` assembly, next to one cold
+  loop-built ``MILPFormulation(...).build()`` for scale;
+* **re-budget** -- ``with_budget`` on the compiled object (the per-budget cost
+  a sweep actually pays);
+* **solve** -- one LP solve of the compiled arrays (the HiGHS floor the
+  Python-side optimizations sit on top of);
+* **decode** -- vectorized solution decoding;
+* **sweep** -- a cold-cache sequential 8-budget ``budget_sweep``, run twice in
+  identical subprocesses: once against the *pre-PR tree* (extracted from git,
+  ``--baseline-ref``) and once against the current tree.  Schedules are
+  SHA-256'd on both sides, so the speedup claim is only reported together
+  with a byte-identical (R, S) check.
+
+The exact-MILP strategy is excluded from the sweep set by default: its cells
+are HiGHS branch-and-cut bound, which this PR does not (and cannot) change --
+the compiled layer targets everything around the solver.  Pass
+``--strategies`` to override.
+
+Writes ``BENCH_PR3.json`` at the repo root (``--out``).  CI runs
+``--smoke --min-rebudget-speedup 10`` on the smallest preset as a loose
+regression guard (relative check only; no flaky absolute-time assertions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+#: Last commit before the compiled-formulation PR; the honest baseline.
+PRE_PR_REF = "d815810"
+
+DEFAULT_PRESETS = ("resnet_tiny", "vgg16", "segnet", "unet", "mobilenet")
+SMOKE_PRESET = "resnet_tiny"
+
+#: Figure-5 strategies minus the exact MILP (see module docstring).
+DEFAULT_SWEEP_STRATEGIES = (
+    "checkpoint_all", "chen_sqrt_n", "chen_greedy", "griewank_logn",
+    "ap_sqrt_n", "ap_greedy", "linearized_sqrt_n", "linearized_greedy",
+    "checkmate_approx",
+)
+
+#: Sweep driver executed in a subprocess against one source tree.  Only uses
+#: APIs present both pre- and post-PR (budget_sweep / SolveService / solve).
+SWEEP_DRIVER = r"""
+import hashlib, json, sys, time
+preset, num_budgets, strategies_csv, out_path = sys.argv[1:5]
+from repro.experiments.presets import build_training_graph
+from repro.experiments.budget_sweep import budget_grid, budget_sweep
+from repro.service import SolveService, SolverOptions
+
+graph = build_training_graph(preset)
+budgets = budget_grid(graph, int(num_budgets))
+strategies = strategies_csv.split(",")
+service = SolveService()  # fresh in-memory plan cache: the sweep runs cold
+
+t0 = time.perf_counter()
+points = budget_sweep(graph, budgets, strategies=strategies,
+                      service=service, parallel=False)
+elapsed = time.perf_counter() - t0
+
+# Re-dispatch every cell through the now-warm plan cache to hash the actual
+# (R, S) matrices; zero additional solver invocations.
+options = SolverOptions(time_limit_s=120.0)
+digests = {}
+for strategy in strategies:
+    spec = service.registry.get(strategy)
+    cell_budgets = budgets if spec.has_budget_knob else [max(budgets)]
+    for budget in cell_budgets:
+        try:
+            result = service.solve(graph, strategy, budget, options)
+        except Exception as exc:  # linear-only on non-linear graphs etc.
+            digests[f"{strategy}@{budget}"] = f"error:{type(exc).__name__}"
+            continue
+        if result.matrices is None:
+            digests[f"{strategy}@{budget}"] = None
+        else:
+            digests[f"{strategy}@{budget}"] = hashlib.sha256(
+                result.matrices.R.tobytes() + result.matrices.S.tobytes()
+            ).hexdigest()
+
+json.dump({"preset": preset, "budgets": budgets, "elapsed_s": elapsed,
+           "solver_calls": service.stats.solver_calls, "digests": digests},
+          open(out_path, "w"))
+"""
+
+
+def time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def time_repeat(fn, repeats: int) -> float:
+    """Median of ``repeats`` timings (first call excluded as warmup)."""
+    fn()
+    return statistics.median(time_once(fn) for _ in range(repeats))
+
+
+def micro_bench(preset: str, *, with_solve: bool = True) -> dict:
+    import numpy as np
+    from repro.experiments.budget_sweep import budget_grid
+    from repro.experiments.presets import build_training_graph
+    from repro.solvers import CompiledFormulation, MILPFormulation
+
+    graph = build_training_graph(preset)
+    budget = budget_grid(graph, 3)[1]
+
+    legacy_build_s = time_repeat(lambda: MILPFormulation(graph, budget).build(), 3)
+    compile_s = time_repeat(lambda: CompiledFormulation(graph), 3)
+    compiled = CompiledFormulation(graph)
+    rebudget_s = time_repeat(lambda: compiled.with_budget(budget), 50)
+
+    arrays = compiled.with_budget(budget)
+    rng = np.random.default_rng(0)
+    x = rng.random(compiled.num_variables)
+    decode_s = time_repeat(lambda: compiled.decode_matrices(x), 20)
+
+    out = {
+        "graph_nodes": graph.size,
+        "graph_edges": graph.num_edges,
+        "variables": compiled.num_variables,
+        "constraints": int(arrays.A.shape[0]),
+        "nnz": int(arrays.A.nnz),
+        "legacy_build_s": legacy_build_s,
+        "compile_s": compile_s,
+        "rebudget_s": rebudget_s,
+        "decode_s": decode_s,
+        "rebudget_speedup_vs_compile": compile_s / rebudget_s if rebudget_s else None,
+        "rebudget_speedup_vs_legacy_build": (
+            legacy_build_s / rebudget_s if rebudget_s else None),
+    }
+    if with_solve:
+        from scipy.optimize import Bounds, LinearConstraint, milp
+
+        def lp_solve():
+            milp(c=arrays.c,
+                 constraints=LinearConstraint(arrays.A, arrays.constraint_lb,
+                                              arrays.constraint_ub),
+                 integrality=np.zeros_like(arrays.integrality),
+                 bounds=Bounds(arrays.lb, arrays.ub),
+                 options={"presolve": True})
+
+        out["lp_solve_s"] = time_repeat(lp_solve, 3)
+    return out
+
+
+def run_sweep_subprocess(src_dir: str, preset: str, num_budgets: int,
+                         strategies) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        driver = os.path.join(tmp, "driver.py")
+        out_path = os.path.join(tmp, "out.json")
+        with open(driver, "w") as fh:
+            fh.write(SWEEP_DRIVER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir
+        subprocess.run(
+            [sys.executable, driver, preset, str(num_budgets),
+             ",".join(strategies), out_path],
+            check=True, env=env, cwd=tmp,
+        )
+        with open(out_path) as fh:
+            return json.load(fh)
+
+
+def extract_baseline_tree(ref: str) -> str:
+    """``git archive`` the baseline ref into a temp dir; returns its src/."""
+    tmp = tempfile.mkdtemp(prefix="prepr-baseline-")
+    archive = subprocess.run(["git", "archive", ref], cwd=REPO_ROOT,
+                             check=True, stdout=subprocess.PIPE)
+    subprocess.run(["tar", "-x", "-C", tmp], input=archive.stdout, check=True)
+    return os.path.join(tmp, "src")
+
+
+def sweep_bench(preset: str, num_budgets: int, strategies, baseline_src) -> dict:
+    current = run_sweep_subprocess(SRC, preset, num_budgets, strategies)
+    out = {
+        "budgets": num_budgets,
+        "strategies": list(strategies),
+        "current_s": current["elapsed_s"],
+        "solver_calls": current["solver_calls"],
+    }
+    if baseline_src is None:
+        out["baseline_s"] = None
+        out["note"] = "baseline tree unavailable (not a git checkout?)"
+        return out
+    baseline = run_sweep_subprocess(baseline_src, preset, num_budgets, strategies)
+    out["baseline_s"] = baseline["elapsed_s"]
+    out["speedup"] = baseline["elapsed_s"] / current["elapsed_s"]
+    out["schedules_identical"] = baseline["digests"] == current["digests"]
+    out["cells_compared"] = len(current["digests"])
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--presets", nargs="+", default=list(DEFAULT_PRESETS))
+    parser.add_argument("--budgets", type=int, default=8)
+    parser.add_argument("--strategies", nargs="+",
+                        default=list(DEFAULT_SWEEP_STRATEGIES))
+    parser.add_argument("--baseline-ref", default=PRE_PR_REF,
+                        help="git ref of the pre-PR tree (default %(default)s)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR3.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="micro-bench only, smallest preset, no sweeps")
+    parser.add_argument("--min-rebudget-speedup", type=float, default=None,
+                        help="exit non-zero unless re-budget beats a cold "
+                             "compile by at least this factor")
+    args = parser.parse_args()
+
+    report = {
+        "pr": 3,
+        "description": "compiled-formulation fast path: compile once per "
+                       "graph, re-budget in O(1)",
+        "baseline_ref": args.baseline_ref,
+        "python": sys.version.split()[0],
+        "presets": {},
+    }
+
+    if args.smoke:
+        presets = [SMOKE_PRESET]
+        baseline_src = None
+    else:
+        presets = args.presets
+        try:
+            baseline_src = extract_baseline_tree(args.baseline_ref)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            print(f"warning: could not extract baseline {args.baseline_ref}: {exc}")
+            baseline_src = None
+
+    try:
+        failed = run_benchmarks(args, presets, baseline_src, report)
+    finally:
+        if baseline_src is not None:
+            shutil.rmtree(os.path.dirname(baseline_src), ignore_errors=True)
+
+    if not args.smoke:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+def run_benchmarks(args, presets, baseline_src, report) -> bool:
+    failed = False
+    for preset in presets:
+        print(f"== {preset} ==")
+        entry = {"micro": micro_bench(preset, with_solve=not args.smoke)}
+        micro = entry["micro"]
+        print(f"  compile (compiled) {micro['compile_s'] * 1e3:8.2f} ms   "
+              f"(loop-built build {micro['legacy_build_s'] * 1e3:.2f} ms)")
+        print(f"  re-budget          {micro['rebudget_s'] * 1e6:8.2f} us   "
+              f"({micro['rebudget_speedup_vs_compile']:.0f}x faster than a "
+              f"cold compile)")
+        print(f"  decode             {micro['decode_s'] * 1e6:8.2f} us")
+        if "lp_solve_s" in micro:
+            print(f"  LP solve           {micro['lp_solve_s'] * 1e3:8.2f} ms")
+
+        if not args.smoke:
+            entry["sweep"] = sweep_bench(preset, args.budgets, args.strategies,
+                                         baseline_src)
+            sweep = entry["sweep"]
+            if sweep.get("baseline_s") is not None:
+                print(f"  sweep ({args.budgets} budgets)  pre-PR "
+                      f"{sweep['baseline_s']:.2f} s -> {sweep['current_s']:.2f} s "
+                      f"({sweep['speedup']:.2f}x, schedules identical: "
+                      f"{sweep['schedules_identical']})")
+                if not sweep["schedules_identical"]:
+                    print("  ERROR: schedules differ from the pre-PR path")
+                    failed = True
+            else:
+                print(f"  sweep ({args.budgets} budgets)  {sweep['current_s']:.2f} s "
+                      f"(no baseline)")
+
+        if args.min_rebudget_speedup is not None:
+            ratio = micro["rebudget_speedup_vs_compile"] or 0.0
+            if ratio < args.min_rebudget_speedup:
+                print(f"  ERROR: re-budget only {ratio:.1f}x faster than compile "
+                      f"(required {args.min_rebudget_speedup:.0f}x)")
+                failed = True
+
+        report["presets"][preset] = entry
+    return failed
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,6 +73,7 @@ from .service import (
     graph_content_hash,
 )
 from .solvers import (
+    CompiledFormulation,
     MILPFormulation,
     solve_approx_lp_rounding,
     solve_ilp_rematerialization,
@@ -132,6 +133,7 @@ __all__ = [
     "default_registry",
     "get_default_service",
     "graph_content_hash",
+    "CompiledFormulation",
     "MILPFormulation",
     "solve_approx_lp_rounding",
     "solve_ilp_rematerialization",

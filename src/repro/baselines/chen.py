@@ -124,6 +124,7 @@ def solve_chen_sqrt_n(
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
         extra={"checkpoints": sorted(ckpts)},
+        peak_memory=peak,
     )
 
 
@@ -148,29 +149,31 @@ def solve_chen_greedy(
     hi = float(sum(fwd_memories)) + 1.0
     segment_budgets = np.unique(np.geomspace(lo, hi, num=num_segment_budgets))
 
-    best: Optional[ScheduledResult] = None
+    best: Optional[tuple] = None  # (matrices, cost, peak, segment_budget, ckpts)
     evaluated = []
+    # Neighbouring segment budgets frequently select the same checkpoint set;
+    # each distinct set is scheduled and simulated exactly once and the full
+    # ScheduledResult (validation, packaging) is built only for the winner.
+    by_checkpoint_set: dict = {}
     with Timer() as timer:
         for b in segment_budgets:
-            ckpts = chen_greedy_checkpoints(graph, float(b), candidates)
-            matrices = segment_checkpoint_schedule(graph, ckpts)
-            cost = schedule_compute_cost(graph, matrices)
-            peak = schedule_peak_memory(graph, matrices)
+            ckpts = frozenset(chen_greedy_checkpoints(graph, float(b), candidates))
+            entry = by_checkpoint_set.get(ckpts)
+            if entry is None:
+                matrices = segment_checkpoint_schedule(graph, ckpts)
+                cost = schedule_compute_cost(graph, matrices)
+                peak = schedule_peak_memory(graph, matrices)
+                entry = by_checkpoint_set[ckpts] = (matrices, cost, peak)
+            matrices, cost, peak = entry
             evaluated.append({"segment_budget": float(b), "cost": cost, "peak_memory": peak,
                               "num_checkpoints": len(ckpts)})
             fits = budget is None or peak <= budget
-            candidate = build_scheduled_result(
-                strategy_name, graph, matrices, budget=int(budget) if budget is not None else None,
-                feasible=fits, solver_status="ok" if fits else "over-budget",
-                generate_plan=False, extra={"segment_budget": float(b),
-                                            "checkpoints": sorted(ckpts)},
-            )
             if budget is not None:
-                if fits and (best is None or candidate.compute_cost < best.compute_cost):
-                    best = candidate
+                if fits and (best is None or cost < best[1]):
+                    best = (matrices, cost, peak, float(b), ckpts)
             else:
-                if best is None or candidate.peak_memory < best.peak_memory:
-                    best = candidate
+                if best is None or peak < best[2]:
+                    best = (matrices, cost, peak, float(b), ckpts)
     if best is None:
         # No segment budget fit: report the lowest-memory attempt as infeasible.
         return build_scheduled_result(
@@ -178,6 +181,11 @@ def solve_chen_greedy(
             feasible=False, solve_time_s=timer.elapsed, solver_status="no-feasible-b",
             extra={"search": evaluated},
         )
-    best.solve_time_s = timer.elapsed
-    best.extra["search"] = evaluated
-    return best
+    matrices, cost, peak, segment_budget, ckpts = best
+    return build_scheduled_result(
+        strategy_name, graph, matrices, budget=int(budget) if budget is not None else None,
+        feasible=True, solve_time_s=timer.elapsed, solver_status="ok",
+        generate_plan=False, peak_memory=peak,
+        extra={"segment_budget": segment_budget, "checkpoints": sorted(ckpts),
+               "search": evaluated},
+    )

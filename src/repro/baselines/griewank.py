@@ -193,4 +193,5 @@ def solve_griewank_logn(
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
         extra={"slots": slots, "num_snapshots": len(storage)},
+        peak_memory=peak,
     )

@@ -75,6 +75,7 @@ def solve_checkpoint_all(graph: DFGraph, budget: Optional[float] = None,
         "checkpoint-all", graph, matrices, budget=int(budget) if budget is not None else None,
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
+        peak_memory=peak,
     )
 
 

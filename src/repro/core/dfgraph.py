@@ -165,6 +165,32 @@ class DFGraph:
         return list(self.edges())
 
     @property
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(parents, children)`` index arrays over all edges, in :meth:`edges` order.
+
+        The order is child-major (children are non-decreasing), matching the
+        iteration order of :meth:`edges`.  Memoized on the instance: the
+        dependency structure is immutable after ``__post_init__``, and the
+        vectorized consumers (the compiled MILP formulation, the memory
+        simulator, the schedule validator) index with these arrays on every
+        call.
+        """
+        cached = self.__dict__.get("_edge_arrays")
+        if cached is None:
+            m = self.num_edges
+            children = np.repeat(
+                np.arange(self.size, dtype=np.int64),
+                [len(self.deps[j]) for j in range(self.size)],
+            )
+            parents = np.fromiter(
+                (i for j in range(self.size) for i in self.deps[j]),
+                dtype=np.int64, count=m,
+            )
+            cached = (parents, children)
+            self.__dict__["_edge_arrays"] = cached
+        return cached
+
+    @property
     def num_edges(self) -> int:
         return sum(len(p) for p in self.deps.values())
 

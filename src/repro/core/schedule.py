@@ -31,6 +31,7 @@ __all__ = [
     "checkpoint_all_schedule",
     "checkpoint_last_node_schedule",
     "validate_correctness_constraints",
+    "validate_correctness_constraints_reference",
     "schedule_compute_cost",
 ]
 
@@ -104,6 +105,51 @@ def validate_correctness_constraints(
     lower-triangular structure (8c).  An empty return value means the schedule
     is a *correct* (dependency-feasible, completing) schedule; memory
     feasibility is a separate question answered by the simulator.
+
+    Validation runs on every result the solvers package up, so the all-clear
+    case (by far the common one) is decided with a handful of vectorized
+    matrix tests; only schedules that actually violate a constraint take the
+    per-cell loop below to produce the detailed messages.
+    """
+    R, S = matrices.R, matrices.S
+    T, n = R.shape
+
+    if n != graph.size:
+        return [f"matrix width {n} != graph size {graph.size}"]
+
+    parents, children = graph.edge_arrays
+    resident = (R | S).astype(bool)
+    clean = (
+        not (R[:, children].astype(bool) & ~resident[:, parents]).any()  # (1b)
+        and not (S[1:].astype(bool) & ~resident[:-1]).any()              # (1c)
+        and not S[0].any()                                               # (1d)
+        and R[:, graph.terminal_node].any()                              # (1e)
+    )
+    if clean and frontier_advancing:
+        clean = (
+            T == n
+            and bool((np.diagonal(R) == 1).all())                        # (8a)
+            and not np.triu(R, k=1).any()                                # (8c)
+            and not np.triu(S, k=0).any()                                # (8b)
+        )
+    if clean:
+        return []
+    return validate_correctness_constraints_reference(
+        graph, matrices, frontier_advancing=frontier_advancing
+    )
+
+
+def validate_correctness_constraints_reference(
+    graph: DFGraph,
+    matrices: ScheduleMatrices,
+    *,
+    frontier_advancing: bool = True,
+) -> List[str]:
+    """Cell-by-cell constraint checker producing the detailed messages.
+
+    The per-``(t, cell)`` loop the vectorized
+    :func:`validate_correctness_constraints` falls back to when a schedule is
+    actually broken; also the reference oracle for the fast path's tests.
     """
     R, S = matrices.R, matrices.S
     T, n = R.shape

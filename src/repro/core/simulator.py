@@ -29,6 +29,7 @@ from .scheduler import compute_free_events
 __all__ = [
     "MemoryTrace",
     "simulate_schedule_memory",
+    "simulate_schedule_memory_reference",
     "schedule_peak_memory",
     "simulate_plan",
     "PlanSimulationError",
@@ -79,10 +80,65 @@ def simulate_schedule_memory(
     dependencies).  Entries for nodes that are not evaluated in a stage carry
     the running value forward so that ``U.max()`` is the schedule's peak.
 
+    Vectorized: instead of materializing the FREE events dict and running the
+    recurrence one ``(t, k)`` cell at a time, each stage's profile is a single
+    cumulative sum.  A value ``v_i`` is freed right after the *last* node of
+    ``{v_i} ∪ USERS(v_i)`` computed in the stage (all users follow ``i`` in
+    topological order, so this is exactly Eq. (5)'s "no later user pending"
+    rule), unless it is checkpointed into stage ``t+1``.  All quantities are
+    integer-valued float64, so the cumulative sums are bit-equal to the
+    sequential reference (:func:`simulate_schedule_memory_reference`).
+
     Returns
     -------
     ``(T, n + 1)`` float array; column 0 is ``U[t, 0]`` (memory at the start of
     the stage: constant overhead plus checkpoints).
+    """
+    R, S = matrices.R, matrices.S
+    T, n = R.shape
+    mem = graph.memory_vector
+    parents, children = graph.edge_arrays
+    Rb = R.astype(bool)
+
+    # Last position in each stage at which a value is (potentially) freed:
+    # the latest computed member of {i} ∪ USERS(i); -1 when none is computed.
+    # O(T * |E|): the self position where R[t, i], then a scatter-max of every
+    # computed user's position onto its parent's column.
+    last_use = np.where(Rb, np.arange(n), -1)
+    if parents.size:
+        user_pos = np.where(Rb[:, children], children, -1)  # (T, |E|)
+        rows = np.repeat(np.arange(T), parents.shape[0])
+        cols = np.tile(parents, T)
+        np.maximum.at(last_use, (rows, cols), user_pos.ravel())
+
+    freed = last_use >= 0
+    freed[:-1] &= S[1:] == 0  # values checkpointed into t+1 are not collected
+
+    # Per-stage profile as one cumulative sum: +M_k at each computed position,
+    # -M_i right after each value's last use (frees after the final position
+    # fall off the end of the stage).
+    delta = np.where(Rb, mem, 0.0)
+    t_idx, i_idx = np.nonzero(freed)
+    at = last_use[t_idx, i_idx] + 1
+    inside = at < n
+    np.subtract.at(delta, (t_idx[inside], at[inside]), mem[i_idx[inside]])
+
+    U = np.zeros((T, n + 1), dtype=np.float64)
+    U[:, 0] = graph.constant_overhead + S @ mem
+    U[:, 1:] = U[:, :1] + np.cumsum(delta, axis=1)
+    return U
+
+
+def simulate_schedule_memory_reference(
+    graph: DFGraph,
+    matrices: ScheduleMatrices,
+) -> np.ndarray:
+    """Sequential reference implementation of the ``U`` recurrence.
+
+    Replays Eq. (2-4) cell by cell exactly as written in the paper, deriving
+    deallocations from :func:`~repro.core.scheduler.compute_free_events`.
+    Kept as the oracle the vectorized :func:`simulate_schedule_memory` is
+    tested against; not used on any hot path.
     """
     R, S = matrices.R, matrices.S
     T, n = R.shape

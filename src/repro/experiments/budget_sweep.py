@@ -17,8 +17,9 @@ the time-limited-MILP caveat.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +28,47 @@ from ..core.schedule import ScheduledResult
 from ..service import SolveService, SolverOptions, SweepCell, get_default_service
 from ..utils.formatting import format_bytes, format_table
 
-__all__ = ["BudgetSweepPoint", "budget_grid", "budget_sweep", "format_sweep"]
+__all__ = ["BudgetSweepPoint", "budget_grid", "budget_sweep", "format_sweep",
+           "pass_statistics"]
+
+
+def pass_statistics(service: "SolveService", before: Optional[dict],
+                    t_start: float, **extra: object) -> Dict[str, object]:
+    """Pass-with-statistics summary for one experiment run (cf. SNIPPETS.md §2).
+
+    Reports the wall time plus the *deltas* of the service's solver/cache
+    counters over the pass -- how many solver invocations the run actually
+    performed, how many cells the plan cache answered, and how many
+    formulation compiles the compiled fast path needed (1 per graph on a cold
+    cache, 0 on a warm one).
+
+    The formulation-cache counters are process-wide (the cache is shared by
+    every service in the process), so their deltas attribute *all* concurrent
+    formulation traffic to this pass; in a process that is also serving other
+    solves (e.g. the daemon), treat them as an upper bound.
+    """
+    after = service.statistics()
+
+    def delta(*path: str) -> Optional[int]:
+        a: object = after
+        b: object = before
+        for key in path:
+            a = a.get(key) if isinstance(a, dict) else None
+            b = b.get(key) if isinstance(b, dict) else None
+        if not isinstance(a, int):
+            return None
+        return a - b if isinstance(b, int) else a
+
+    stats: Dict[str, object] = {
+        "wall_time_s": time.perf_counter() - t_start,
+        "solver_calls": delta("solver_calls"),
+        "cache_hits": delta("cache_hits"),
+        "cache_misses": delta("cache_misses"),
+        "formulation_compiles": delta("formulation_cache", "compiles"),
+        "formulation_hits": delta("formulation_cache", "hits"),
+    }
+    stats.update(extra)
+    return stats
 
 #: Strategies plotted in Figure 5 (linear architectures use the originals,
 #: non-linear ones their AP / linearized generalizations).
@@ -106,6 +147,7 @@ def budget_sweep(
     service: Optional[SolveService] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    stats_out: Optional[Dict[str, object]] = None,
 ) -> List[BudgetSweepPoint]:
     """Run the Figure-5 sweep for one training graph.
 
@@ -114,12 +156,20 @@ def budget_sweep(
     fits -- matching how the paper plots them as single markers.
 
     All cells are dispatched through ``service`` (defaulting to the shared
-    process-wide :class:`~repro.service.SolveService`), so independent solves
-    run in parallel and warm-cache reruns perform no solver invocations.
+    process-wide :class:`~repro.service.SolveService`): independent solves run
+    in parallel, warm-cache reruns perform no solver invocations, and the
+    Eq. (9) formulation is compiled once per graph and re-budgeted in O(1)
+    for every MILP/LP cell of the grid.
+
+    ``stats_out``, when given, is filled in place with a pass-statistics dict
+    (wall time, cell counts, solver/cache counter deltas) describing what the
+    sweep actually did.
     """
     from ..baselines.griewank import is_linear_forward_graph
 
     service = service or get_default_service()
+    before = service.statistics() if stats_out is not None else None
+    t_start = time.perf_counter()
     budgets = list(budgets) if budgets is not None else budget_grid(graph)
     is_linear = is_linear_forward_graph(graph)
     options = SolverOptions(time_limit_s=ilp_time_limit_s)
@@ -145,6 +195,11 @@ def budget_sweep(
 
     results = service.sweep(graph, cells, options=options,
                             parallel=parallel, max_workers=max_workers)
+    if stats_out is not None:
+        stats_out.update(pass_statistics(
+            service, before, t_start,
+            cells=len(cells), points=len(plan), budgets=len(budgets),
+        ))
     # One assembly path for both kinds of strategy: an infeasible solve has
     # peak_memory == 0 already, so the "matrices is None" guard inside
     # _point_from_result is equivalent to the knob-less replication logic.

@@ -13,6 +13,8 @@ its time limit.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -21,8 +23,10 @@ from ..core.dfgraph import DFGraph
 from ..cost_model import CostModel, FlopCostModel
 from ..service import SolveService, SolverOptions, get_default_service, parallel_map
 from ..utils.formatting import format_table
+from .budget_sweep import pass_statistics
 
-__all__ = ["MaxBatchResult", "max_batch_size", "max_batch_experiment", "cost_cap"]
+__all__ = ["MaxBatchResult", "TrainingGraphMemo", "max_batch_size",
+           "max_batch_experiment", "cost_cap"]
 
 #: Strategies reported in Figure 6.
 DEFAULT_MAX_BATCH_STRATEGIES = ("checkpoint_all", "ap_sqrt_n", "linearized_greedy",
@@ -48,18 +52,45 @@ def cost_cap(training_graph: DFGraph) -> float:
     return 2.0 * training_graph.forward_cost() + training_graph.backward_cost()
 
 
+class TrainingGraphMemo:
+    """Thread-safe per-batch-size memo of built training graphs.
+
+    The Figure 6 search probes the same batch sizes for every strategy of one
+    model (the exponential bracket always visits 1, 2, 4, ...), and every
+    probe otherwise rebuilds forward graph + autodiff + cost model from
+    scratch.  Sharing one memo across the strategy searches means each batch
+    size is built once -- and, because the returned object is the *same*
+    ``DFGraph`` instance, its content hash and compiled formulation memos are
+    shared across strategies too instead of being recomputed per probe.
+    """
+
+    def __init__(self, forward_builder: Callable[[int], DFGraph],
+                 cost_model: CostModel) -> None:
+        self._builder = forward_builder
+        self._cost_model = cost_model
+        self._graphs: Dict[int, DFGraph] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, batch_size: int) -> DFGraph:
+        with self._lock:
+            graph = self._graphs.get(batch_size)
+        if graph is None:
+            graph = self._cost_model.apply(make_training_graph(self._builder(batch_size)))
+            with self._lock:
+                graph = self._graphs.setdefault(batch_size, graph)
+        return graph
+
+
 def _feasible_at_batch(
-    forward_builder: Callable[[int], DFGraph],
+    training_builder: Callable[[int], DFGraph],
     batch_size: int,
     strategy_key: str,
     budget: int,
-    cost_model: CostModel,
     ilp_time_limit_s: float,
     service: SolveService,
 ) -> bool:
     """Check whether ``strategy`` trains at ``batch_size`` within budget and cost cap."""
-    forward = forward_builder(batch_size)
-    graph = cost_model.apply(make_training_graph(forward))
+    graph = training_builder(batch_size)
     if graph.constant_overhead >= budget:
         return False
     result = service.solve(graph, strategy_key, budget,
@@ -78,20 +109,24 @@ def max_batch_size(
     max_batch: int = 4096,
     ilp_time_limit_s: float = 60.0,
     service: Optional[SolveService] = None,
+    graph_memo: Optional[TrainingGraphMemo] = None,
 ) -> int:
     """Binary-search the largest batch size a strategy can train under Eq. (10).
 
     ``forward_builder(batch)`` must return the forward graph at that batch
     size.  Returns 0 when even batch size 1 is infeasible.  Solves go through
     the plan cache, so probing a batch size the search (or a previous search)
-    has already visited is free.
+    has already visited is free; ``graph_memo`` (shared across the strategy
+    searches by :func:`max_batch_experiment`) additionally deduplicates the
+    graph builds themselves.
     """
     cost_model = cost_model or FlopCostModel()
     service = service or get_default_service()
+    training_builder = graph_memo or TrainingGraphMemo(forward_builder, cost_model)
 
     def feasible(b: int) -> bool:
-        return _feasible_at_batch(forward_builder, b, strategy_key, budget,
-                                  cost_model, ilp_time_limit_s, service)
+        return _feasible_at_batch(training_builder, b, strategy_key, budget,
+                                  ilp_time_limit_s, service)
 
     if not feasible(1):
         return 0
@@ -120,6 +155,7 @@ def max_batch_experiment(
     service: Optional[SolveService] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    stats_out: Optional[Dict[str, object]] = None,
 ) -> List[MaxBatchResult]:
     """Run the Figure-6 study over a set of models.
 
@@ -140,6 +176,12 @@ def max_batch_experiment(
     the LP rounding, which are deterministic either way.
     """
     service = service or get_default_service()
+    before = service.statistics() if stats_out is not None else None
+    t_start = time.perf_counter()
+    # One training-graph memo per model, shared by all of its strategy
+    # searches: every probed batch size is built (and content-hashed) once.
+    memos = {model_name: TrainingGraphMemo(builder, cost_model or FlopCostModel())
+             for model_name, builder in models.items()}
     pairs = [(model_name, builder, strategy)
              for model_name, builder in models.items() for strategy in strategies]
 
@@ -147,7 +189,7 @@ def max_batch_experiment(
         model_name, builder, strategy = pair
         best = max_batch_size(builder, strategy, budget=budget, cost_model=cost_model,
                               max_batch=max_batch, ilp_time_limit_s=ilp_time_limit_s,
-                              service=service)
+                              service=service, graph_memo=memos[model_name])
         return MaxBatchResult(model=model_name, strategy=strategy,
                               max_batch_size=best, budget=budget)
 
@@ -163,6 +205,10 @@ def max_batch_experiment(
             if baseline:
                 r.normalized = r.max_batch_size / baseline
         results.extend(per_model)
+    if stats_out is not None:
+        stats_out.update(pass_statistics(service, before, t_start,
+                                         models=len(models),
+                                         searches=len(pairs)))
     return results
 
 

@@ -27,6 +27,7 @@ Quick use::
         ["checkmate_approx", "linearized_greedy"], budgets))
 """
 
+from ..solvers.compiled import FormulationCache, get_formulation_cache, set_formulation_cache
 from .cache import PlanCache, PlanCacheKey
 from .hashing import graph_content_hash
 from .options import SolverOptions
@@ -43,6 +44,9 @@ from .solve import (
 
 __all__ = [
     "SolveCancelledError",
+    "FormulationCache",
+    "get_formulation_cache",
+    "set_formulation_cache",
     "PlanCache",
     "PlanCacheKey",
     "graph_content_hash",

@@ -58,6 +58,10 @@ class SolverSpec:
     has_budget_knob: bool = True
     in_table1: bool = False
     option_map: Mapping[str, str] = field(default_factory=dict)
+    #: Whether the solver routes through the MILP/LP formulation of Eq. (9);
+    #: the sweep executor precompiles the shared CompiledFormulation for these
+    #: so parallel budget cells never queue behind a cold compile.
+    uses_formulation: bool = False
 
 
 class SolverRegistry:
@@ -124,6 +128,10 @@ _EXTRA_OPTION_MAPS: Dict[str, Mapping[str, str]] = {
     "checkmate_approx": _APPROX_OPTIONS,
 }
 
+#: Strategies that solve (a relaxation of) the Eq. (9) MILP and therefore
+#: share the compiled budget-independent formulation arrays.
+_FORMULATION_STRATEGIES = frozenset({"checkmate_ilp", "checkmate_approx"})
+
 
 def default_registry() -> SolverRegistry:
     """Build the canonical registry: Table 1 strategies + the extra solvers.
@@ -150,12 +158,14 @@ def default_registry() -> SolverRegistry:
             has_budget_knob=info.has_budget_knob,
             in_table1=True,
             option_map=_EXTRA_OPTION_MAPS.get(info.key, {}),
+            uses_formulation=info.key in _FORMULATION_STRATEGIES,
         ))
     registry.register(SolverSpec(
         key="checkmate_bnb",
         description="Reference LP-based branch-and-bound (exact, tiny graphs only).",
         solve=solve_branch_and_bound_schedule,
         option_map={"max_nodes": "max_nodes", "generate_plan": "generate_plan"},
+        uses_formulation=True,
     ))
     registry.register(SolverSpec(
         key="min_r",

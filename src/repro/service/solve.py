@@ -36,6 +36,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult, StrategyNotApplicableError
+from ..solvers.compiled import compiled_formulation_enabled, get_formulation_cache
 from .cache import PlanCache, PlanCacheKey
 from .hashing import graph_content_hash
 from .options import SolverOptions
@@ -276,6 +277,19 @@ class SolveService:
         if not normalized:
             return []
 
+        # Compile the graph's MILP formulation once, up front, when any cell
+        # will need it: every budget of the sweep then re-budgets the shared
+        # CompiledFormulation in O(1), and parallel workers never pile up on
+        # the formulation cache's cold-key single-flight lock.  On a sweep
+        # fully served by a warm plan cache this compile (milliseconds, once
+        # per process per graph -- the formulation cache is process-wide) is
+        # the only work performed; the alternative, probing the plan cache for
+        # every cell first, would cost more than it saves on any cold cell.
+        if compiled_formulation_enabled() and any(
+            self.registry.get(cell.strategy).uses_formulation for cell in normalized
+        ):
+            get_formulation_cache().get(graph)
+
         # Deduplicate identical cells: concurrent duplicates would all miss
         # the cold cache and each run the full solve.  SweepCell is frozen
         # (and options hashable), so effective cells key a dict directly.
@@ -323,6 +337,10 @@ class SolveService:
             }
         snapshot["registered_solvers"] = len(self.registry)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        # The compiled-formulation cache is process-wide (shared by every
+        # service in the process), reported here so /v1/metrics exposes
+        # compile-once effectiveness alongside the plan-cache hit rate.
+        snapshot["formulation_cache"] = get_formulation_cache().stats()
         return snapshot
 
 

@@ -14,6 +14,16 @@ from .branch_and_bound import (
     solve_branch_and_bound_schedule,
 )
 from .common import build_scheduled_result
+from .compiled import (
+    CompiledFormulation,
+    FormulationCache,
+    compiled_formulation_enabled,
+    formulation_and_arrays,
+    get_formulation_cache,
+    legacy_formulation,
+    set_compiled_formulation_enabled,
+    set_formulation_cache,
+)
 from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
 from .ilp import ILP_STRATEGY_NAME, solve_ilp_rematerialization
 from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
@@ -31,6 +41,14 @@ __all__ = [
     "solve_branch_and_bound_schedule",
     "solve_min_r_schedule",
     "build_scheduled_result",
+    "CompiledFormulation",
+    "FormulationCache",
+    "compiled_formulation_enabled",
+    "formulation_and_arrays",
+    "get_formulation_cache",
+    "legacy_formulation",
+    "set_compiled_formulation_enabled",
+    "set_formulation_cache",
     "FormulationArrays",
     "InfeasibleBudgetError",
     "MILPFormulation",

@@ -161,7 +161,7 @@ def solve_approx_lp_rounding(
     return build_scheduled_result(
         strategy_name, graph, best, budget=int(budget), feasible=True,
         solve_time_s=timer.elapsed + lp_result.solve_time_s, solver_status="ok",
-        generate_plan=generate_plan,
+        generate_plan=generate_plan, peak_memory=best_peak,
         extra={"lp_objective": lp_result.objective, "rounding_mode": mode,
                "allowance": allowance, "peak_memory_rounded": best_peak},
     )

@@ -20,7 +20,8 @@ from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
 from ..utils.timer import Timer
 from .common import build_scheduled_result
-from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
+from .compiled import formulation_and_arrays
+from .formulation import FormulationArrays, InfeasibleBudgetError
 
 __all__ = [
     "BranchAndBoundResult",
@@ -133,14 +134,13 @@ def solve_branch_and_bound_schedule(
     Only sensible for tiny graphs (tens of nodes).
     """
     try:
-        formulation = MILPFormulation(graph, budget, frontier_advancing=True)
+        formulation, arrays = formulation_and_arrays(graph, budget, frontier_advancing=True)
     except InfeasibleBudgetError as exc:
         return build_scheduled_result(
             strategy_name, graph, None, budget=int(budget), feasible=False,
             solver_status=f"infeasible-budget: {exc}",
         )
 
-    arrays = formulation.build()
     with Timer() as timer:
         res = solve_branch_and_bound(arrays, max_nodes=max_nodes)
     if res.x is None:

@@ -30,6 +30,7 @@ def build_scheduled_result(
     validate: bool = True,
     frontier_advancing: bool = True,
     extra: Optional[dict] = None,
+    peak_memory: Optional[int] = None,
 ) -> ScheduledResult:
     """Package a schedule into a :class:`ScheduledResult` with derived metrics.
 
@@ -37,6 +38,10 @@ def build_scheduled_result(
     the paper's ``U`` accounting), optionally lowers the schedule into an
     execution plan, and -- by default -- asserts the correctness constraints so
     that no infeasible schedule silently enters the evaluation pipeline.
+
+    ``peak_memory`` lets callers that already simulated the schedule (every
+    heuristic decides feasibility from the peak before packaging) pass the
+    measured value instead of paying a second ``U``-recurrence evaluation.
     """
     if matrices is None:
         return ScheduledResult(
@@ -64,7 +69,7 @@ def build_scheduled_result(
             )
 
     cost = schedule_compute_cost(graph, matrices)
-    peak = schedule_peak_memory(graph, matrices)
+    peak = peak_memory if peak_memory is not None else schedule_peak_memory(graph, matrices)
     plan = generate_execution_plan(graph, matrices) if generate_plan else None
     return ScheduledResult(
         strategy=strategy,

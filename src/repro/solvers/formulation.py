@@ -114,6 +114,12 @@ class MILPFormulation:
         self._norm_budget = self.budget / self._mem_scale
         self._norm_overhead = graph.constant_overhead / self._mem_scale
 
+        # Edges materialized once (child-major, the edges() order); every
+        # stage loop below walks this list instead of regenerating the
+        # iterator and rebuilding per-stage membership sets.
+        self._edges = list(graph.edges())
+        self._c_unnormalized: Optional[np.ndarray] = None
+
         self._build_index()
 
     # ------------------------------------------------------------------ #
@@ -131,6 +137,18 @@ class MILPFormulation:
             return range(0, t)  # strictly lower triangular (8b)
         return range(0, self.n)
 
+    def _in_stage(self, t: int, j: int) -> bool:
+        """Arithmetic membership test for ``j in self._stage_nodes(t)``.
+
+        O(1) instead of rebuilding ``set(self._stage_nodes(t))`` per stage
+        (which made index construction quadratic in set building alone).
+        """
+        return (not self.frontier_advancing) or j <= t
+
+    def _is_checkpointable(self, t: int, i: int) -> bool:
+        """Arithmetic membership test for ``i in self._checkpointable(t)``."""
+        return (not self.frontier_advancing) or i < t
+
     def _build_index(self) -> None:
         self.r_index: Dict[Tuple[int, int], int] = {}
         self.s_index: Dict[Tuple[int, int], int] = {}
@@ -147,11 +165,12 @@ class MILPFormulation:
                 self.s_index[(t, i)] = counter
                 counter += 1
         for t in range(self.T):
-            stage = set(self._stage_nodes(t))
-            for (i, k) in self.graph.edges():
-                if k in stage:
+            for (i, k) in self._edges:
+                if self._in_stage(t, k):
                     self.free_index[(t, i, k)] = counter
                     counter += 1
+                elif self.frontier_advancing:
+                    break  # edges are child-major: no later edge is in stage t
         for t in range(self.T):
             for k in self._stage_nodes(t):
                 self.u_index[(t, k)] = counter
@@ -210,15 +229,15 @@ class MILPFormulation:
 
         # ---- (1b): R[t,j] <= R[t,i] + S[t,i] for every edge (i, j). ---------
         for t in range(T):
-            stage = set(self._stage_nodes(t))
-            ckpt = set(self._checkpointable(t))
-            for (i, j) in g.edges():
-                if j not in stage:
+            for (i, j) in self._edges:
+                if not self._in_stage(t, j):
+                    if self.frontier_advancing:
+                        break  # child-major edge order: the rest are out too
                     continue
                 add_entry(row, self.r_index[(t, j)], 1.0)
-                if i in stage:
+                if self._in_stage(t, i):
                     add_entry(row, self.r_index[(t, i)], -1.0)
-                if i in ckpt:
+                if self._is_checkpointable(t, i):
                     add_entry(row, self.s_index[(t, i)], -1.0)
                 con_lb.append(-INF)
                 con_ub.append(0.0)
@@ -228,9 +247,9 @@ class MILPFormulation:
         for t in range(1, T):
             for i in self._checkpointable(t):
                 add_entry(row, self.s_index[(t, i)], 1.0)
-                if i in self._stage_nodes(t - 1):
+                if self._in_stage(t - 1, i):
                     add_entry(row, self.r_index[(t - 1, i)], -1.0)
-                if i in self._checkpointable(t - 1):
+                if self._is_checkpointable(t - 1, i):
                     add_entry(row, self.s_index[(t - 1, i)], -1.0)
                 con_lb.append(-INF)
                 con_ub.append(0.0)
@@ -248,7 +267,7 @@ class MILPFormulation:
         # num_hazards(t,i,k) = (1 - R[t,k]) + S[t+1,i] + sum_{j in USERS[i], j>k} R[t,j]
         for (t, i, k), fidx in self.free_index.items():
             later_users = [j for j in g.successors(i)
-                           if j > k and j in set(self._stage_nodes(t))]
+                           if j > k and self._in_stage(t, j)]
             kappa = 2.0 + len(later_users)
 
             # (7b): 1 - FREE <= num_hazards
@@ -340,11 +359,17 @@ class MILPFormulation:
         return R, S
 
     def objective_value(self, x: np.ndarray) -> float:
-        """Recompute the (un-normalized) objective: total recomputation cost."""
-        total = 0.0
-        for (t, i), idx in self.r_index.items():
-            total += self.graph.cost(i) * x[idx]
-        return float(total)
+        """Recompute the (un-normalized) objective: total recomputation cost.
+
+        One cached dot product over the contiguous ``R`` block instead of a
+        Python iteration over the index dict per call -- branch-and-bound node
+        evaluation and the LP result packaging hit this on every solve.
+        """
+        if self._c_unnormalized is None:
+            nodes = np.fromiter((i for (_, i) in self.r_index),
+                                dtype=np.int64, count=len(self.r_index))
+            self._c_unnormalized = self.graph.cost_vector[nodes]
+        return float(self._c_unnormalized @ np.asarray(x)[: len(self.r_index)])
 
     def describe(self) -> str:
         """Human readable summary of problem dimensions (for logs and reports)."""

@@ -21,7 +21,8 @@ from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
 from ..utils.timer import Timer
 from .common import build_scheduled_result
-from .formulation import InfeasibleBudgetError, MILPFormulation
+from .compiled import formulation_and_arrays
+from .formulation import InfeasibleBudgetError
 
 __all__ = ["solve_ilp_rematerialization", "ILP_STRATEGY_NAME"]
 
@@ -71,7 +72,10 @@ def solve_ilp_rematerialization(
     infeasibility or finds no incumbent within the limit.
     """
     try:
-        formulation = MILPFormulation(
+        # Compiled fast path: the budget-independent arrays come from the
+        # per-process FormulationCache (one compile per graph, shared across
+        # a whole budget sweep); only the U-variable bounds are budget-bound.
+        formulation, arrays = formulation_and_arrays(
             graph, budget, frontier_advancing=frontier_advancing, num_stages=num_stages
         )
     except InfeasibleBudgetError as exc:
@@ -80,7 +84,6 @@ def solve_ilp_rematerialization(
             solver_status=f"infeasible-budget: {exc}",
         )
 
-    arrays = formulation.build()
     constraints = LinearConstraint(arrays.A, arrays.constraint_lb, arrays.constraint_ub)
     bounds = Bounds(arrays.lb, arrays.ub)
 

@@ -16,7 +16,8 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.dfgraph import DFGraph
 from ..utils.timer import Timer
-from .formulation import InfeasibleBudgetError, MILPFormulation
+from .compiled import formulation_and_arrays
+from .formulation import InfeasibleBudgetError
 
 __all__ = ["LPRelaxationResult", "solve_lp_relaxation"]
 
@@ -62,7 +63,10 @@ def solve_lp_relaxation(
     algorithms (Karmarkar, barrier methods).
     """
     try:
-        formulation = MILPFormulation(
+        # Shares the compiled budget-independent arrays with the exact ILP --
+        # an approximation call at (1 - eps) * budget re-budgets in O(1)
+        # instead of rebuilding the whole constraint matrix.
+        formulation, arrays = formulation_and_arrays(
             graph, budget, frontier_advancing=frontier_advancing, num_stages=num_stages
         )
     except InfeasibleBudgetError as exc:
@@ -72,7 +76,6 @@ def solve_lp_relaxation(
             status=f"infeasible-budget: {exc}",
         )
 
-    arrays = formulation.build()
     constraints = LinearConstraint(arrays.A, arrays.constraint_lb, arrays.constraint_ub)
     bounds = Bounds(arrays.lb, arrays.ub)
     relaxed_integrality = np.zeros_like(arrays.integrality)

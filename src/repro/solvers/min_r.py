@@ -55,26 +55,26 @@ def solve_min_r(graph: DFGraph, S: np.ndarray) -> ScheduleMatrices:
     S[np.triu_indices(n, k=0)] = 0
     S[0, :] = 0
 
-    R = np.zeros((n, n), dtype=np.uint8)
-    for t in range(n):
-        R[t, t] = 1  # (8a) frontier node
-
-        # (1c): values checkpointed into stage t+1 must exist during stage t.
-        if t + 1 < n:
-            for i in np.flatnonzero(S[t + 1]):
-                if not S[t, i]:
-                    R[t, i] = 1
-
-        # (1b): close the computed set under dependencies.  Scanning in reverse
-        # topological order guarantees one pass suffices (a parent marked here
-        # is processed later in the scan, i.e. at a smaller index).
-        for j in range(t, -1, -1):
-            if not R[t, j]:
-                continue
-            for i in graph.predecessors(j):
-                if not S[t, i] and not R[t, i]:
-                    R[t, i] = 1
-    return ScheduleMatrices(R, S)
+    # Every stage shares the same propagation rules, so the per-stage scan is
+    # run for all stages at once, column by column:
+    #
+    # * (8a) frontier nodes and (1c) checkpoint-feeding entries seed R;
+    # * (1b) closes the computed set under dependencies.  Columns are swept in
+    #   reverse topological order, which finalizes column j before any parent
+    #   column (< j) is read -- the same single-pass argument as scanning
+    #   ``j = t..0`` within one stage.
+    #
+    # All marks land strictly below the diagonal seed (parents precede
+    # children), so the lower-triangular structure is preserved.
+    Sb = S.astype(bool)
+    Rb = np.eye(n, dtype=bool)  # (8a) frontier nodes
+    Rb[:-1] |= Sb[1:] & ~Sb[:-1]  # (1c)
+    for j in range(n - 1, 0, -1):
+        preds = graph.predecessors(j)
+        if preds:
+            preds = list(preds)
+            Rb[:, preds] |= Rb[:, j, None] & ~Sb[:, preds]
+    return ScheduleMatrices(Rb.astype(np.uint8), S)
 
 
 def checkpoint_set_to_schedule(graph: DFGraph, checkpoints: set[int] | list[int]) -> ScheduleMatrices:
@@ -126,6 +126,6 @@ def solve_min_r_schedule(
         budget=int(budget) if budget is not None else None,
         feasible=feasible, solve_time_s=timer.elapsed,
         solver_status="ok" if feasible else "over-budget",
-        generate_plan=generate_plan,
+        generate_plan=generate_plan, peak_memory=peak,
         extra={"checkpoints": sorted(set(int(c) for c in checkpoints))},
     )
