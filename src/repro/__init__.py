@@ -60,6 +60,14 @@ from .cost_model import (
     UniformCostModel,
     memory_breakdown,
 )
+from .execution import (
+    ExecutionReport,
+    NumericGraph,
+    bind_numeric_graph,
+    build_execution_report,
+    execute_checkpoint_all,
+    execute_plan,
+)
 from .service import (
     PlanCache,
     SolveCancelledError,
@@ -113,6 +121,12 @@ __all__ = [
     "schedule_peak_memory",
     "simulate_plan",
     "validate_correctness_constraints",
+    "ExecutionReport",
+    "NumericGraph",
+    "bind_numeric_graph",
+    "build_execution_report",
+    "execute_checkpoint_all",
+    "execute_plan",
     "CPU_DEVICE",
     "NVIDIA_V100",
     "DeviceSpec",

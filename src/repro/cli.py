@@ -10,10 +10,16 @@ without writing Python:
     $ repro submit --preset unet --strategy checkmate_approx --budget 2GiB
     $ repro sweep --preset vgg16 --strategies ap_sqrt_n,linearized_greedy \\
                   --budgets 512MiB,1GiB,2GiB
+    $ repro execute --preset linear_mlp --strategy checkmate_ilp \\
+                    --budget-fraction 0.6          # solve, run, cross-check
     $ repro status                                 # server health + metrics
     $ repro status <job-id>                        # one job's lifecycle
 
-``submit``/``sweep``/``status`` talk to a running ``repro serve`` daemon
+``execute`` solves a schedule, lowers it and *runs* it over NumPy tensors,
+cross-checking measured peak memory / recompute counts / outputs against the
+solver and simulator predictions; it works locally by default or against a
+daemon with ``--server``.  ``submit``/``sweep``/``status`` talk to a running
+``repro serve`` daemon
 (``--server`` defaults to ``http://127.0.0.1:8765``); ``strategies`` answers
 locally unless ``--server`` is passed.  Budgets accept raw bytes or binary
 units (``512MiB``, ``2GiB``); solver options are ``--option key=value``
@@ -219,6 +225,79 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_execute(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    if args.budget is not None and args.budget_fraction is not None:
+        print("error: pass at most one of --budget or --budget-fraction",
+              file=sys.stderr)
+        return 2
+    option_pairs = _parse_option_pairs(args.option)
+    if option_pairs:
+        from .service import SolverOptions
+        unknown = set(option_pairs) - set(SolverOptions.__dataclass_fields__)
+        if unknown:
+            print(f"error: unknown solver options {sorted(unknown)}; known: "
+                  f"{sorted(SolverOptions.__dataclass_fields__)}", file=sys.stderr)
+            return 2
+
+    def build_graph():
+        # Locally this is what we execute; with --server it is only needed to
+        # resolve --budget-fraction against the exact graph the server will
+        # rebuild from the same preset arguments.
+        graph = _load_graph_arg(args.graph)
+        if graph is None:
+            from .cost_model import COST_MODELS
+            from .experiments.presets import build_training_graph
+            graph = build_training_graph(
+                args.preset, scale=args.scale, batch_size=args.batch_size,
+                cost_model=COST_MODELS[args.cost_model or "flop"]())
+        return graph
+
+    graph = None
+    budget = args.budget
+    # The graph is needed locally to execute, to resolve --budget-fraction,
+    # and to upload a --graph file; a pure preset-by-name submission to a
+    # server skips the (potentially expensive) client-side build entirely.
+    if args.budget_fraction is not None or not args.server or args.graph is not None:
+        graph = build_graph()
+    if args.budget_fraction is not None:
+        budget = float(int(graph.constant_overhead
+                           + args.budget_fraction * graph.total_activation_memory()))
+
+    if args.server:
+        client = _client(args)
+        handle = client.submit_execute(
+            graph=graph if args.graph is not None else None,
+            preset=args.preset, scale=args.scale, batch_size=args.batch_size,
+            cost_model=args.cost_model, strategy=args.strategy, budget=budget,
+            options=option_pairs, seed=args.seed,
+            priority=args.priority)
+        print(f"execute job {handle['job_id']} {handle['state']}")
+        if args.no_wait:
+            return 0
+        status = client.wait(handle["job_id"], timeout=args.timeout)
+        if status["state"] != "done":
+            print(f"error: {status.get('error')}", file=sys.stderr)
+            return 1
+        report = client.result(handle["job_id"])["report"]
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+
+    from .execution import bind_numeric_graph
+    from .service import SolverOptions, get_default_service
+
+    options = SolverOptions(**option_pairs) if option_pairs else None
+    numeric = bind_numeric_graph(graph, seed=args.seed)
+    report = get_default_service().execute(numeric, args.strategy, budget, options)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_status(args) -> int:
     client = _client(args)
     if args.job_id:
@@ -324,6 +403,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=1800.0)
     _add_server_args(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("execute",
+                       help="solve a schedule, run it over NumPy tensors and "
+                            "cross-check predicted vs measured")
+    _add_graph_args(p)
+    p.add_argument("--strategy", required=True)
+    p.add_argument("--budget", type=parse_budget, default=None,
+                   help="memory budget (bytes or 512MiB/2GiB/...; default none)")
+    p.add_argument("--budget-fraction", type=float, default=None, metavar="F",
+                   help="budget as overhead + F * total activation memory "
+                        "(alternative to --budget)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the deterministic parameter/input binding")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE",
+                   help="solver option, repeatable (e.g. --option time_limit_s=60)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of a summary")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="(with --server) print the job id and exit")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--server", default=None,
+                   help="run through a 'repro serve' daemon instead of locally")
+    p.add_argument("--http-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_execute)
 
     p = sub.add_parser("status", help="server health/metrics, or one job's status")
     p.add_argument("job_id", nargs="?", default=None)

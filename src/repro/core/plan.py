@@ -7,6 +7,31 @@ The plan is what an execution backend actually runs -- in the paper it is
 encoded back into a static TensorFlow graph, in this reproduction it is either
 replayed by the memory simulator (:mod:`repro.core.simulator`) or interpreted
 over NumPy tensors (:mod:`repro.execution`).
+
+Register-reuse contract
+-----------------------
+Both backends interpret plans under the same semantics:
+
+* A register id is **allocated once** and **deallocated at most once**
+  (:meth:`ExecutionPlan.validate_structure`); between those events it is
+  *live* and bound to exactly one node.
+* A live register holds **at most one value**.  ``compute`` writes the node's
+  output into the register, *replacing* any value a previous ``compute``
+  left there -- repeated computes into one register are legal and the
+  replaced value's bytes are released, never double-counted.
+* A node's value is **resident** iff at least one live register currently
+  holds a computed value for it.  A ``compute`` may only run while every
+  parent is resident, and ``deallocate`` of the last holding register ends
+  residency -- the simulator and executor raise
+  :class:`~repro.core.simulator.PlanSimulationError` on identical
+  violations.
+* **Charge point**: the simulator charges a register's declared
+  ``size_bytes`` at ``allocate``; the NumPy executor charges the tensor's
+  actual ``nbytes`` at ``compute``.  Algorithm 1 emits ``allocate``
+  immediately before a register's first ``compute`` (and never computes a
+  node into a register while an older register of the same node is live --
+  it frees the old copy first), so predicted and measured peaks coincide
+  whenever declared sizes equal actual tensor sizes.
 """
 
 from __future__ import annotations
@@ -117,11 +142,15 @@ class ExecutionPlan:
     def validate_structure(self) -> None:
         """Check structural well-formedness of the plan.
 
-        * every ``compute`` targets a register allocated earlier and not yet freed,
+        * every ``compute`` targets a register allocated earlier and not yet
+          freed, for the same node it was allocated for,
         * every ``deallocate`` frees a live register exactly once, and
         * register ids are unique per allocation.
 
-        Raises :class:`PlanError` on violation.  Note this is purely syntactic;
+        Repeated ``compute`` of a node into its register is structurally legal
+        (the later compute replaces the register's value -- see the
+        register-reuse contract in the module docstring).  Raises
+        :class:`PlanError` on violation.  Note this is purely syntactic;
         data-dependency feasibility is validated by the simulator which also
         needs the graph.
         """

@@ -6,6 +6,13 @@ events from those matrices (paper Eq. 5-6 / §4.8) and performs the row-major
 scan of Algorithm 1 to emit an ``allocate`` / ``compute`` / ``deallocate``
 statement list, followed by the deallocation code-motion pass described in
 §4.9.
+
+Plans emitted here obey the register-reuse contract pinned down in
+:mod:`repro.core.plan`: every register is allocated immediately before its
+(single) compute, and when a stage recomputes a node whose previous copy is
+still live the old register is deallocated *first*, so a node never occupies
+two registers at once and the simulator's allocate-time accounting matches
+the executor's compute-time accounting statement for statement.
 """
 
 from __future__ import annotations

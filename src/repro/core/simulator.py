@@ -181,15 +181,25 @@ def simulate_plan(
         The statement list to replay.
     validate_dependencies:
         When ``True`` (default), raise :class:`PlanSimulationError` if a
-        ``compute`` statement runs while one of the node's parents has no live
-        register -- i.e. the plan is not a correct rematerialization schedule.
+        ``compute`` statement runs while one of the node's parents has no
+        register currently *holding a value* -- i.e. the plan is not a correct
+        rematerialization schedule.  Residency follows the register-reuse
+        contract of :mod:`repro.core.plan`: a node is resident iff at least
+        one register holds a computed value for it, and recomputing into a
+        still-live register replaces the value rather than duplicating it.
 
     Returns
     -------
-    :class:`MemoryTrace` with the per-statement memory profile.
+    :class:`MemoryTrace` with the per-statement memory profile.  Register
+    bytes are charged at ``allocate`` (the plan's declared ``size_bytes``),
+    whereas :func:`repro.execution.execute_plan` charges actual ``nbytes`` at
+    ``compute``; Algorithm 1 emits ``allocate`` immediately before the first
+    ``compute`` of each register, so the two peaks agree whenever declared
+    sizes match actual tensor sizes.
     """
     live_registers: Dict[int, int] = {}  # register id -> node id
-    live_nodes: Dict[int, int] = {}      # node id -> count of live registers
+    computed: set = set()                # registers currently holding a value
+    live_nodes: Dict[int, int] = {}      # node id -> registers holding its value
     reg_sizes: Dict[int, int] = {}
 
     current_memory = graph.constant_overhead
@@ -213,13 +223,25 @@ def simulate_plan(
                 raise PlanSimulationError(
                     f"statement {idx}: compute v{node} into dead register %{stmt.register}"
                 )
+            if live_registers[stmt.register] != node:
+                raise PlanSimulationError(
+                    f"statement {idx}: register %{stmt.register} allocated for node "
+                    f"{live_registers[stmt.register]} but computed with node {node}"
+                )
             if validate_dependencies:
                 for parent in graph.predecessors(node):
                     if live_nodes.get(parent, 0) <= 0:
                         raise PlanSimulationError(
                             f"statement {idx}: compute v{node} but parent v{parent} is not resident"
                         )
-            live_nodes[node] = live_nodes.get(node, 0) + 1
+            if stmt.register not in computed:
+                # First compute into this register makes the node's value
+                # resident there; *re*-computing into the same register only
+                # replaces the value, so the residency count must not grow
+                # (incrementing per compute was the refcount-leak bug that
+                # kept nodes "resident" after their register was freed).
+                computed.add(stmt.register)
+                live_nodes[node] = live_nodes.get(node, 0) + 1
             total_cost += graph.cost(node)
             counts[node] = counts.get(node, 0) + 1
         elif isinstance(stmt, DeallocateRegister):
@@ -229,8 +251,11 @@ def simulate_plan(
                 )
             node = live_registers.pop(stmt.register)
             current_memory -= reg_sizes.pop(stmt.register)
-            if live_nodes.get(node, 0) > 0:
+            if stmt.register in computed:
+                computed.discard(stmt.register)
                 live_nodes[node] -= 1
+                if live_nodes[node] <= 0:
+                    del live_nodes[node]
         else:  # pragma: no cover - defensive
             raise PlanSimulationError(f"statement {idx}: unknown statement {stmt!r}")
 
@@ -238,9 +263,6 @@ def simulate_plan(
         memories.append(current_memory)
         times.append(total_cost)
 
-    # A compute statement marks the node live before its register is written in
-    # our accounting; plans generated by Algorithm 1 always allocate right
-    # before computing, so this ordering matches the paper's U accounting.
     return MemoryTrace(
         memory_by_statement=np.asarray(memories, dtype=np.float64),
         compute_times=np.asarray(times, dtype=np.float64),

@@ -13,7 +13,16 @@ from .devices import DeviceSpec, NVIDIA_V100, NVIDIA_P100, CPU_DEVICE
 from .memory import MemoryBreakdown, memory_breakdown
 from .models import CostModel, FlopCostModel, ProfileCostModel, UniformCostModel
 
+#: Name -> class map shared by every surface that takes a cost model by name
+#: (the HTTP API's ``cost_model`` field, the CLI's ``--cost-model`` flag).
+COST_MODELS = {
+    "flop": FlopCostModel,
+    "profile": ProfileCostModel,
+    "uniform": UniformCostModel,
+}
+
 __all__ = [
+    "COST_MODELS",
     "DeviceSpec",
     "NVIDIA_V100",
     "NVIDIA_P100",

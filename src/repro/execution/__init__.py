@@ -7,16 +7,42 @@ a concrete tensor function, and :func:`execute_plan` interprets an
 main purpose in the reproduction is *verification* -- demonstrating that a
 rematerialized schedule computes bit-identical results to the checkpoint-all
 schedule while holding fewer tensors live.
+
+Graphs become executable two ways:
+
+* the toy builders :func:`make_numeric_chain` / :func:`make_numeric_dag`
+  construct graph and functions together, and
+* :func:`bind_numeric_graph` attaches NumPy forward functions -- and, for
+  training graphs from :func:`repro.autodiff.make_training_graph`, backward
+  (VJP chain-rule) functions -- to any model-zoo graph, so every registered
+  preset can be lowered and run over real tensors.
+
+:func:`build_execution_report` closes the paper's predicted-vs-measured loop:
+it executes a solved schedule and cross-checks measured peak live bytes and
+recompute counts against the simulator's predictions and the outputs against
+checkpoint-all execution.
 """
 
+from .binding import bind_numeric_graph, bindable_op_types, unsupported_op_types
 from .executor import ExecutionResult, execute_checkpoint_all, execute_plan
+from .numeric_ops import NumericOp, SUPPORTED_OP_TYPES, UnsupportedOpError, make_numeric_op
 from .ops import NumericGraph, make_numeric_chain, make_numeric_dag
+from .report import ExecutionReport, build_execution_report
 
 __all__ = [
     "ExecutionResult",
+    "ExecutionReport",
+    "build_execution_report",
     "execute_checkpoint_all",
     "execute_plan",
+    "bind_numeric_graph",
+    "bindable_op_types",
+    "unsupported_op_types",
+    "NumericOp",
     "NumericGraph",
+    "SUPPORTED_OP_TYPES",
+    "UnsupportedOpError",
+    "make_numeric_op",
     "make_numeric_chain",
     "make_numeric_dag",
 ]

@@ -1,0 +1,173 @@
+"""Bind NumPy forward *and* backward functions to model-zoo graphs.
+
+The toy builders in :mod:`repro.execution.ops` construct their graphs and
+functions together.  Real workloads arrive the other way around: the model
+zoo (:mod:`repro.models`) emits a :class:`~repro.core.dfgraph.DFGraph` whose
+``meta`` records each layer's op type, hyper-parameters and shapes, and
+:func:`repro.autodiff.make_training_graph` appends gradient nodes on top.
+:func:`bind_numeric_graph` closes the loop by attaching an executable
+function to every node of either graph:
+
+* **forward nodes** get the :mod:`repro.execution.numeric_ops` kernel for
+  their recorded op type, with deterministic seeded parameters;
+* **gradient nodes** get the chain rule: ``g_i`` sums, over every forward
+  consumer ``j`` of ``i``, the vector-Jacobian product of ``j`` evaluated at
+  the saved activations the training graph declares as dependencies.  The
+  dependency structure synthesized by ``make_training_graph`` guarantees all
+  of those values (the consumer's inputs, optionally its output, and its
+  incoming gradient) are live whenever ``g_i`` runs, so a rematerialization
+  plan for the training graph is executable exactly as scheduled.
+
+Outputs are ``(batch, *shape)`` arrays whose ``nbytes`` equal the graph's
+declared per-node ``memory``, which is what makes the executor's *measured*
+peak directly comparable to the solver's and simulator's *predicted* peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dfgraph import DFGraph
+from .numeric_ops import NumericOp, SUPPORTED_OP_TYPES, UnsupportedOpError, make_numeric_op
+from .ops import NodeFunction, NumericGraph
+
+__all__ = ["bind_numeric_graph", "bindable_op_types", "unsupported_op_types"]
+
+_DTYPES = {2: np.float16, 4: np.float32, 8: np.float64}
+
+
+def _layer_meta(graph: DFGraph):
+    meta = graph.meta
+    for key in ("op_types", "shapes", "batch_size", "dtype_bytes", "input_shape"):
+        if key not in meta:
+            raise UnsupportedOpError(
+                f"graph {graph.name!r} carries no builder metadata ({key!r} missing); "
+                "only graphs produced by repro.models builders (optionally passed "
+                "through make_training_graph) can be bound to NumPy functions")
+    op_types = list(meta["op_types"])
+    op_attrs = list(meta.get("op_attrs", [{}] * len(op_types)))
+    shapes = [tuple(int(d) for d in s) for s in meta["shapes"]]
+    input_shape = tuple(int(d) for d in meta["input_shape"])
+    batch_size = int(meta["batch_size"])
+    dtype_bytes = int(meta["dtype_bytes"])
+    if dtype_bytes not in _DTYPES:
+        raise UnsupportedOpError(f"no NumPy dtype for dtype_bytes={dtype_bytes}")
+    return op_types, op_attrs, shapes, input_shape, batch_size, np.dtype(_DTYPES[dtype_bytes])
+
+
+def _layer_of(graph: DFGraph, node: int, num_layers: int) -> int:
+    layer = graph.nodes[node].layer_id
+    layer = node if layer is None else int(layer)
+    if not (0 <= layer < num_layers):
+        raise UnsupportedOpError(
+            f"node {node} of {graph.name!r} maps to layer {layer}, but the builder "
+            f"metadata only describes {num_layers} layers")
+    return layer
+
+
+def unsupported_op_types(graph: DFGraph) -> List[str]:
+    """Op types of ``graph`` (forward part) without a NumPy kernel, sorted."""
+    op_types = graph.meta.get("op_types")
+    if op_types is None:
+        return ["<no builder metadata>"]
+    return sorted(set(op_types) - SUPPORTED_OP_TYPES)
+
+
+def bindable_op_types() -> List[str]:
+    """The op types the NumPy execution backend implements."""
+    return sorted(SUPPORTED_OP_TYPES)
+
+
+def bind_numeric_graph(graph: DFGraph, *, seed: int = 0) -> NumericGraph:
+    """Attach an executable NumPy function to every node of ``graph``.
+
+    ``graph`` is either a forward graph from a :class:`repro.models` builder
+    or the training graph ``make_training_graph`` derives from one (detected
+    via ``meta["n_forward"]``).  Parameters, the network input and the loss
+    labels are drawn deterministically from ``seed``, so two binds of equal
+    graphs produce bit-identical executions.
+
+    Raises :class:`~repro.execution.numeric_ops.UnsupportedOpError` when the
+    graph lacks builder metadata or uses an op without a NumPy kernel.
+    """
+    op_types, op_attrs, shapes, input_shape, batch, dtype = _layer_meta(graph)
+    n_forward = int(graph.meta.get("n_forward", graph.size))
+    rng = np.random.default_rng(seed)
+    x0 = rng.standard_normal((batch,) + input_shape).astype(dtype)
+
+    # --- forward nodes: one numeric op each, parameters in node order ----- #
+    ops: Dict[int, NumericOp] = {}
+    functions: Dict[int, NodeFunction] = {}
+    fwd_shape: Dict[int, Tuple[int, ...]] = {}
+    for node in range(n_forward):
+        layer = _layer_of(graph, node, len(op_types))
+        parents = graph.predecessors(node)
+        in_shapes = ([shapes[_layer_of(graph, p, len(op_types))] for p in parents]
+                     if parents else [input_shape])
+        op = make_numeric_op(op_types[layer], rng=rng, in_shapes=in_shapes,
+                             out_shape=shapes[layer], attrs=op_attrs[layer],
+                             batch_size=batch, dtype=dtype)
+        ops[node] = op
+        fwd_shape[node] = (batch,) + shapes[layer]
+        if parents:
+            functions[node] = op.forward
+        else:
+            functions[node] = (lambda inputs, _op=op: _op.forward([x0]))
+
+    if n_forward == graph.size:
+        return NumericGraph(graph=graph, functions=functions)
+
+    # --- gradient nodes: chain rule over the recorded dependency structure - #
+    grad_index = graph.meta.get("grad_index")
+    if not isinstance(grad_index, dict):
+        raise UnsupportedOpError(
+            f"graph {graph.name!r} has backward nodes but no meta['grad_index']")
+    grad_of = {int(k): int(v) for k, v in grad_index.items()}
+    loss_node = n_forward - 1
+
+    for fwd in range(n_forward - 1, -1, -1):
+        gid = grad_of[fwd]
+        deps = graph.predecessors(gid)
+        pos = {p: idx for idx, p in enumerate(deps)}
+        users = [j for j in range(n_forward) if fwd in graph.predecessors(j)]
+
+        if fwd == loss_node:
+            # Seed of backpropagation: d(mean per-example loss)/d(loss vector).
+            seed_value = np.full(fwd_shape[fwd], 1.0 / batch, dtype=dtype)
+            functions[gid] = (lambda inputs, _v=seed_value: _v.copy())
+        elif not users:
+            # A forward value nothing consumes: its true gradient is zero.
+            shape = fwd_shape[fwd]
+            functions[gid] = (lambda inputs, _s=shape, _d=dtype: np.zeros(_s, dtype=_d))
+        else:
+            functions[gid] = _make_grad_fn(graph, fwd, users, pos, grad_of, ops, x0)
+    return NumericGraph(graph=graph, functions=functions)
+
+
+def _make_grad_fn(graph: DFGraph, fwd: int, users: Sequence[int],
+                  pos: Dict[int, int], grad_of: Dict[int, int],
+                  ops: Dict[int, NumericOp], x0: np.ndarray) -> NodeFunction:
+    """Build ``g_fwd = sum_j VJP_j(saved activations, g_j)[input index of fwd]``."""
+    plans = []
+    for j in users:
+        j_parents = graph.predecessors(j)
+        input_positions = [pos[p] for p in j_parents]  # guaranteed by autodiff deps
+        output_position = pos.get(j)  # None without grad_needs_consumer_output
+        grad_position = pos[grad_of[j]]
+        plans.append((ops[j], input_positions, j_parents.index(fwd),
+                      output_position, grad_position))
+
+    def grad_fn(inputs: Sequence[np.ndarray]) -> np.ndarray:
+        total: Optional[np.ndarray] = None
+        for op, input_positions, arg_index, output_position, grad_position in plans:
+            op_inputs = [inputs[p] for p in input_positions] or [x0]
+            output = inputs[output_position] if output_position is not None else None
+            contribution = op.input_vjp(op_inputs, output,
+                                        inputs[grad_position])[arg_index]
+            total = contribution if total is None else total + contribution
+        assert total is not None
+        return total
+
+    return grad_fn

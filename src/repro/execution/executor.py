@@ -6,6 +6,19 @@ bound function when a ``compute`` statement is reached and discarding values on
 ``deallocate``.  It tracks the *actual* number of live tensor bytes so tests
 can assert that a rematerialized plan really does run in less memory, and that
 its outputs are numerically identical to checkpoint-all execution.
+
+The executor implements the register-reuse contract documented in
+:mod:`repro.core.plan`: a register holds at most one value, computing into a
+register *replaces* its previous value (releasing those bytes), a node's
+value is resident iff at least one register currently holds it, and the
+executor raises :class:`~repro.core.simulator.PlanSimulationError` on exactly
+the violations :func:`~repro.core.simulator.simulate_plan` rejects (compute
+into a dead or foreign register, compute with a non-resident parent,
+re-allocating a live register id, deallocating a dead register).  The one
+accounting difference from the simulator is the *charge point*: the simulator
+charges a register's bytes at ``allocate``, the executor at ``compute`` (when
+the tensor materializes).  Plans lowered by Algorithm 1 allocate immediately
+before the first compute of a register, so both report the same peak.
 """
 
 from __future__ import annotations
@@ -60,15 +73,17 @@ def execute_plan(numeric: NumericGraph, plan: ExecutionPlan,
     Raises
     ------
     PlanSimulationError
-        If a compute statement runs while one of its parents' values is not
-        live -- the numeric equivalent of a dependency violation.
+        On the same violations :func:`~repro.core.simulator.simulate_plan`
+        rejects: compute into a dead register or one allocated for another
+        node, compute while a parent's value is not resident, re-allocating a
+        live register id, or deallocating a dead register.
     """
     graph = numeric.graph
     wanted = set(record_outputs) if record_outputs is not None else set(range(graph.size))
 
-    register_values: Dict[int, np.ndarray] = {}
-    register_nodes: Dict[int, int] = {}
-    live_node_values: Dict[int, np.ndarray] = {}
+    register_values: Dict[int, np.ndarray] = {}   # registers holding a value
+    register_nodes: Dict[int, int] = {}           # live (allocated) registers
+    node_registers: Dict[int, list] = {}          # node -> registers holding its value
     recorded: Dict[int, np.ndarray] = {}
     counts: Dict[int, int] = {}
 
@@ -78,19 +93,36 @@ def execute_plan(numeric: NumericGraph, plan: ExecutionPlan,
 
     for idx, stmt in enumerate(plan.statements):
         if isinstance(stmt, AllocateRegister):
+            if stmt.register in register_nodes:
+                raise PlanSimulationError(
+                    f"statement {idx}: register %{stmt.register} already live")
             register_nodes[stmt.register] = stmt.node_id
         elif isinstance(stmt, ComputeNode):
             node = stmt.node_id
+            if stmt.register not in register_nodes:
+                raise PlanSimulationError(
+                    f"statement {idx}: compute v{node} into dead register %{stmt.register}")
+            if register_nodes[stmt.register] != node:
+                raise PlanSimulationError(
+                    f"statement {idx}: register %{stmt.register} allocated for node "
+                    f"{register_nodes[stmt.register]} but computed with node {node}")
             parent_values = []
             for p in graph.predecessors(node):
-                if p not in live_node_values:
+                holders = node_registers.get(p)
+                if not holders:
                     raise PlanSimulationError(
-                        f"statement {idx}: node {node} computed but parent {p} has no live value"
-                    )
-                parent_values.append(live_node_values[p])
+                        f"statement {idx}: compute v{node} but parent v{p} is not resident")
+                parent_values.append(register_values[holders[-1]])
             value = np.asarray(numeric.functions[node](parent_values))
+            previous = register_values.get(stmt.register)
+            if previous is not None:
+                # Recompute into a still-live register: the new value replaces
+                # the old one, so the old bytes are released -- they must not
+                # stay counted (this was the double-count bug).
+                live_bytes -= previous.nbytes
+            else:
+                node_registers.setdefault(node, []).append(stmt.register)
             register_values[stmt.register] = value
-            live_node_values[node] = value
             live_bytes += value.nbytes
             peak = max(peak, live_bytes)
             num_compute += 1
@@ -98,14 +130,17 @@ def execute_plan(numeric: NumericGraph, plan: ExecutionPlan,
             if node in wanted:
                 recorded[node] = value
         elif isinstance(stmt, DeallocateRegister):
-            node = register_nodes.pop(stmt.register, None)
+            if stmt.register not in register_nodes:
+                raise PlanSimulationError(
+                    f"statement {idx}: deallocate of dead register %{stmt.register}")
+            node = register_nodes.pop(stmt.register)
             value = register_values.pop(stmt.register, None)
             if value is not None:
                 live_bytes -= value.nbytes
-            if node is not None and node in live_node_values:
-                # Only drop the node's live value if this register held it.
-                if value is live_node_values.get(node):
-                    del live_node_values[node]
+                holders = node_registers[node]
+                holders.remove(stmt.register)
+                if not holders:
+                    del node_registers[node]
         else:  # pragma: no cover - defensive
             raise PlanSimulationError(f"unknown statement {stmt!r}")
 

@@ -1,0 +1,496 @@
+"""NumPy implementations (forward + input-VJP) of the model-zoo layer ops.
+
+The graph builders in :mod:`repro.models` record, for every node, its
+``op_type`` and hyper-parameters (``meta["op_types"]`` / ``meta["op_attrs"]``).
+This module turns those records into *executable* operations: a
+:class:`NumericOp` bundles a batched NumPy forward function with the
+vector-Jacobian product with respect to each input, which is exactly what the
+execution backend needs to run both the forward pass and the gradient nodes
+synthesized by :func:`repro.autodiff.make_training_graph`.
+
+Two invariants matter for the predicted-vs-measured loop these ops close:
+
+* **Byte-exact sizes** -- a node's output is a ``(batch, *shape)`` array of
+  the builder's declared dtype, so ``value.nbytes`` equals the graph's
+  declared ``memory`` and the executor's measured live bytes are directly
+  comparable to the solver/simulator predictions.
+* **Determinism** -- every op is a pure function of its inputs (parameters
+  are fixed at binding time), so recomputing a rematerialized value yields a
+  bit-identical array and plans can be checked against checkpoint-all
+  execution with exact equality.
+
+Convolutions are evaluated as ``K*K`` strided-slice contractions (no im2col
+materialization); transposed convolutions reuse the convolution input-VJP as
+their forward pass -- the two are exact adjoints, so gradient checks hold to
+machine precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["NumericOp", "UnsupportedOpError", "SUPPORTED_OP_TYPES", "make_numeric_op"]
+
+_BN_EPS = 1e-5
+
+
+class UnsupportedOpError(ValueError):
+    """The graph contains an op type the NumPy backend cannot execute."""
+
+
+@dataclass
+class NumericOp:
+    """One executable operation: batched forward plus per-input VJP.
+
+    ``forward(inputs)`` receives the parent values in ascending parent order
+    (each ``(batch, *shape)``) and returns the node's output array.
+    ``input_vjp(inputs, output, grad)`` returns one gradient array per input;
+    ``output`` may be ``None`` when the training graph was built without
+    consumer outputs (``grad_needs_consumer_output=False``), in which case
+    ops that need it recompute it from ``inputs``.
+    """
+
+    op_type: str
+    forward: Callable[[Sequence[np.ndarray]], np.ndarray]
+    input_vjp: Callable[[Sequence[np.ndarray], Optional[np.ndarray], np.ndarray],
+                        Tuple[np.ndarray, ...]]
+
+
+# --------------------------------------------------------------------------- #
+# Shared convolution/pooling plumbing
+# --------------------------------------------------------------------------- #
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _conv_pads(in_hw, out_hw, kernel, stride, padding) -> Tuple[int, int, int, int]:
+    """Resolve (top, bottom, left, right) zero padding for a convolution."""
+    h, w = in_hw
+    oh, ow = out_hw
+    kh, kw = kernel
+    sh, sw = stride
+    if padding == "same":
+        th = max(0, (oh - 1) * sh + kh - h)
+        tw = max(0, (ow - 1) * sw + kw - w)
+        return th // 2, th - th // 2, tw // 2, tw - tw // 2
+    if padding == "valid":
+        return 0, 0, 0, 0
+    p = int(padding)
+    return p, p, p, p
+
+
+def _conv2d_core(x: np.ndarray, w: np.ndarray, stride, pads, out_hw) -> np.ndarray:
+    """``y[b,o] = sum_{c,i,j} w[o,c,i,j] * xpad[b,c,oh*sh+i,ow*sw+j]``."""
+    co, _, kh, kw = w.shape
+    oh, ow = out_hw
+    sh, sw = stride
+    ph0, ph1, pw0, pw1 = pads
+    xp = np.pad(x, ((0, 0), (0, 0), (ph0, ph1), (pw0, pw1)))
+    y = np.zeros((x.shape[0], co, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xs = xp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw]
+            y += np.einsum("bchw,oc->bohw", xs, w[:, :, i, j])
+    return y
+
+
+def _conv2d_input_vjp(g: np.ndarray, w: np.ndarray, stride, pads, in_hw) -> np.ndarray:
+    """Exact adjoint of :func:`_conv2d_core` with respect to its input."""
+    _, ci, kh, kw = w.shape
+    oh, ow = g.shape[2], g.shape[3]
+    sh, sw = stride
+    ph0, ph1, pw0, pw1 = pads
+    h, wd = in_hw
+    gxp = np.zeros((g.shape[0], ci, h + ph0 + ph1, wd + pw0 + pw1), dtype=g.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            gxp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw] += \
+                np.einsum("bohw,oc->bchw", g, w[:, :, i, j])
+    return gxp[:, :, ph0:ph0 + h, pw0:pw0 + wd]
+
+
+def _pool_layout(in_hw, out_hw, kernel, stride):
+    """Right/bottom padding so that every output position has a full slice set.
+
+    Pooling output sizes are ``max(1, dim // stride)`` (see
+    ``layers.pool2d_output_shape``), so edge windows may be clamped; padding
+    the input out to ``(oh - 1) * sh + kh`` makes the strided-slice stack
+    rectangular, with the pad value chosen per op (``-inf`` for max, ``0``
+    for average).
+    """
+    h, w = in_hw
+    oh, ow = out_hw
+    kh, kw = kernel
+    sh, sw = stride
+    return max(0, (oh - 1) * sh + kh - h), max(0, (ow - 1) * sw + kw - w)
+
+
+def _pool_stack(xp: np.ndarray, kernel, stride, out_hw) -> np.ndarray:
+    kh, kw = kernel
+    sh, sw = stride
+    oh, ow = out_hw
+    slices = [xp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw]
+              for i in range(kh) for j in range(kw)]
+    return np.stack(slices, axis=0)  # (kh*kw, B, C, oh, ow)
+
+
+def _pool_scatter(shape, kernel, stride, out_hw, contributions) -> np.ndarray:
+    """Accumulate per-slice gradient contributions back onto the padded input."""
+    kh, kw = kernel
+    sh, sw = stride
+    oh, ow = out_hw
+    gxp = np.zeros(shape, dtype=contributions.dtype)
+    idx = 0
+    for i in range(kh):
+        for j in range(kw):
+            gxp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw] += \
+                contributions[idx]
+            idx += 1
+    return gxp
+
+
+# --------------------------------------------------------------------------- #
+# Op constructors (one per builder op_type)
+# --------------------------------------------------------------------------- #
+def _weight(rng: np.random.Generator, shape, fan_in: int, dtype) -> np.ndarray:
+    return (rng.standard_normal(shape) / np.sqrt(max(1, fan_in))).astype(dtype)
+
+
+def _make_conv2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    ci, h, w0 = in_shapes[0]
+    co, oh, ow = out_shape
+    kernel = _pair(attrs.get("kernel", 3))
+    stride = _pair(attrs.get("stride", 1))
+    padding = attrs.get("padding", "same")
+    pads = _conv_pads((h, w0), (oh, ow), kernel, stride, padding)
+    w = _weight(rng, (co, ci) + kernel, ci * kernel[0] * kernel[1], dtype)
+    b = (0.1 * rng.standard_normal(co)).astype(dtype) if attrs.get("bias", True) else None
+
+    def forward(inputs):
+        y = _conv2d_core(inputs[0], w, stride, pads, (oh, ow))
+        if b is not None:
+            y += b[None, :, None, None]
+        return y
+
+    def input_vjp(inputs, output, grad):
+        return (_conv2d_input_vjp(grad, w, stride, pads, (h, w0)),)
+
+    return NumericOp("conv2d", forward, input_vjp)
+
+
+def _make_depthwise_conv2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    c, h, w0 = in_shapes[0]
+    _, oh, ow = out_shape
+    kernel = _pair(attrs.get("kernel", 3))
+    stride = _pair(attrs.get("stride", 1))
+    pads = _conv_pads((h, w0), (oh, ow), kernel, stride, attrs.get("padding", "same"))
+    kh, kw = kernel
+    sh, sw = stride
+    w = _weight(rng, (c, kh, kw), kh * kw, dtype)
+    b = (0.1 * rng.standard_normal(c)).astype(dtype) if attrs.get("bias", True) else None
+
+    def forward(inputs):
+        xp = np.pad(inputs[0], ((0, 0), (0, 0), (pads[0], pads[1]), (pads[2], pads[3])))
+        y = np.zeros((inputs[0].shape[0], c, oh, ow), dtype=dtype)
+        for i in range(kh):
+            for j in range(kw):
+                xs = xp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw]
+                y += xs * w[None, :, i, j, None, None]
+        if b is not None:
+            y += b[None, :, None, None]
+        return y
+
+    def input_vjp(inputs, output, grad):
+        gxp = np.zeros((grad.shape[0], c, h + pads[0] + pads[1], w0 + pads[2] + pads[3]),
+                       dtype=dtype)
+        for i in range(kh):
+            for j in range(kw):
+                gxp[:, :, i:i + sh * (oh - 1) + 1:sh, j:j + sw * (ow - 1) + 1:sw] += \
+                    grad * w[None, :, i, j, None, None]
+        return (gxp[:, :, pads[0]:pads[0] + h, pads[2]:pads[2] + w0],)
+
+    return NumericOp("depthwise_conv2d", forward, input_vjp)
+
+
+def _make_conv_transpose2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    ci, h, w0 = in_shapes[0]
+    co, oh, ow = out_shape
+    kernel = _pair(attrs.get("kernel", 2))
+    stride = _pair(attrs.get("stride", 2))
+    # A transposed convolution is the adjoint of a strided "same" convolution
+    # mapping (co, oh, ow) -> (ci, h, w); implement forward/VJP by swapping
+    # the convolution core and its input-VJP, which keeps them exact adjoints.
+    pads = _conv_pads((oh, ow), (h, w0), kernel, stride, "same")
+    w = _weight(rng, (ci, co) + kernel, ci * kernel[0] * kernel[1], dtype)
+    b = (0.1 * rng.standard_normal(co)).astype(dtype) if attrs.get("bias", True) else None
+
+    def forward(inputs):
+        y = _conv2d_input_vjp(inputs[0], w, stride, pads, (oh, ow))
+        if b is not None:
+            y += b[None, :, None, None]
+        return y
+
+    def input_vjp(inputs, output, grad):
+        return (_conv2d_core(grad, w, stride, pads, (h, w0)),)
+
+    return NumericOp("conv_transpose2d", forward, input_vjp)
+
+
+def _make_maxpool2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    c, h, w0 = in_shapes[0]
+    _, oh, ow = out_shape
+    kernel = _pair(attrs.get("kernel", 2))
+    stride = _pair(attrs.get("stride", attrs.get("kernel", 2)))
+    pad_h, pad_w = _pool_layout((h, w0), (oh, ow), kernel, stride)
+
+    def _padded(x):
+        return np.pad(x, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)),
+                      constant_values=-np.inf)
+
+    def forward(inputs):
+        stack = _pool_stack(_padded(inputs[0]), kernel, stride, (oh, ow))
+        return np.ascontiguousarray(stack.max(axis=0))
+
+    def input_vjp(inputs, output, grad):
+        stack = _pool_stack(_padded(inputs[0]), kernel, stride, (oh, ow))
+        winner = stack.argmax(axis=0)  # deterministic: first maximum wins
+        k2 = kernel[0] * kernel[1]
+        contributions = np.where(winner[None] == np.arange(k2)[:, None, None, None, None],
+                                 grad[None], np.zeros((), dtype=dtype))
+        gxp = _pool_scatter((grad.shape[0], c, h + pad_h, w0 + pad_w),
+                            kernel, stride, (oh, ow), contributions)
+        return (gxp[:, :, :h, :w0],)
+
+    return NumericOp("maxpool2d", forward, input_vjp)
+
+
+def _make_avgpool2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    c, h, w0 = in_shapes[0]
+    _, oh, ow = out_shape
+    kernel = _pair(attrs.get("kernel", 2))
+    stride = _pair(attrs.get("stride", attrs.get("kernel", 2)))
+    pad_h, pad_w = _pool_layout((h, w0), (oh, ow), kernel, stride)
+    ones = np.pad(np.ones((1, 1, h, w0), dtype=dtype),
+                  ((0, 0), (0, 0), (0, pad_h), (0, pad_w)))
+    counts = _pool_stack(ones, kernel, stride, (oh, ow)).sum(axis=0)  # valid elems/window
+
+    def forward(inputs):
+        xp = np.pad(inputs[0], ((0, 0), (0, 0), (0, pad_h), (0, pad_w)))
+        return np.ascontiguousarray(
+            _pool_stack(xp, kernel, stride, (oh, ow)).sum(axis=0) / counts)
+
+    def input_vjp(inputs, output, grad):
+        k2 = kernel[0] * kernel[1]
+        contributions = np.broadcast_to((grad / counts)[None],
+                                        (k2,) + grad.shape).astype(dtype)
+        gxp = _pool_scatter((grad.shape[0], c, h + pad_h, w0 + pad_w),
+                            kernel, stride, (oh, ow), contributions)
+        return (gxp[:, :, :h, :w0],)
+
+    return NumericOp("avgpool2d", forward, input_vjp)
+
+
+def _make_global_avgpool(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    _, h, w0 = in_shapes[0]
+
+    def forward(inputs):
+        return inputs[0].mean(axis=(2, 3), keepdims=True)
+
+    def input_vjp(inputs, output, grad):
+        scale = np.asarray(1.0 / (h * w0), dtype=dtype)
+        return (np.broadcast_to(grad * scale, inputs[0].shape).astype(dtype),)
+
+    return NumericOp("global_avgpool", forward, input_vjp)
+
+
+def _make_upsample2d(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    factor = int(attrs.get("factor", 2))
+
+    def forward(inputs):
+        return inputs[0].repeat(factor, axis=2).repeat(factor, axis=3)
+
+    def input_vjp(inputs, output, grad):
+        b, c, oh, ow = grad.shape
+        return (grad.reshape(b, c, oh // factor, factor, ow // factor, factor)
+                .sum(axis=(3, 5)),)
+
+    return NumericOp("upsample2d", forward, input_vjp)
+
+
+def _make_relu(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    def forward(inputs):
+        return np.maximum(inputs[0], np.zeros((), dtype=dtype))
+
+    def input_vjp(inputs, output, grad):
+        out = output if output is not None else forward(inputs)
+        return (np.where(out > 0, grad, np.zeros((), dtype=dtype)),)
+
+    return NumericOp("relu", forward, input_vjp)
+
+
+def _make_batchnorm(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    channels = int(in_shapes[0][0])
+    gamma = (1.0 + 0.1 * rng.standard_normal(channels)).astype(dtype)
+    beta = (0.1 * rng.standard_normal(channels)).astype(dtype)
+
+    def _reshape(v, ndim):
+        return v.reshape((1, channels) + (1,) * (ndim - 2))
+
+    def _stats(x):
+        axes = (0,) + tuple(range(2, x.ndim))
+        mu = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + np.asarray(_BN_EPS, dtype=dtype))
+        return axes, (x - mu) * inv_std, inv_std
+
+    def forward(inputs):
+        x = inputs[0]
+        _, xhat, _ = _stats(x)
+        return (_reshape(gamma, x.ndim) * xhat + _reshape(beta, x.ndim)).astype(dtype)
+
+    def input_vjp(inputs, output, grad):
+        x = inputs[0]
+        axes, xhat, inv_std = _stats(x)
+        dxhat = grad * _reshape(gamma, x.ndim)
+        dx = (dxhat - dxhat.mean(axis=axes, keepdims=True)
+              - xhat * (dxhat * xhat).mean(axis=axes, keepdims=True)) * inv_std
+        return (dx.astype(dtype),)
+
+    return NumericOp("batchnorm", forward, input_vjp)
+
+
+def _make_add(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    def forward(inputs):
+        total = inputs[0].copy()
+        for x in inputs[1:]:
+            total += x
+        return total
+
+    def input_vjp(inputs, output, grad):
+        return tuple(grad.copy() for _ in inputs)
+
+    return NumericOp("add", forward, input_vjp)
+
+
+def _make_concat(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    channel_counts = [int(s[0]) for s in in_shapes]
+    boundaries = np.cumsum([0] + channel_counts)
+
+    def forward(inputs):
+        return np.concatenate(inputs, axis=1)
+
+    def input_vjp(inputs, output, grad):
+        return tuple(np.ascontiguousarray(grad[:, boundaries[i]:boundaries[i + 1]])
+                     for i in range(len(inputs)))
+
+    return NumericOp("concat", forward, input_vjp)
+
+
+def _make_flatten(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    def forward(inputs):
+        return np.ascontiguousarray(inputs[0]).reshape(inputs[0].shape[0], -1)
+
+    def input_vjp(inputs, output, grad):
+        return (grad.reshape(inputs[0].shape),)
+
+    return NumericOp("flatten", forward, input_vjp)
+
+
+def _make_dense(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    in_features = int(np.prod(in_shapes[0]))
+    out_features = int(out_shape[0])
+    w = _weight(rng, (out_features, in_features), in_features, dtype)
+    b = (0.1 * rng.standard_normal(out_features)).astype(dtype) \
+        if attrs.get("bias", True) else None
+
+    def forward(inputs):
+        flat = np.ascontiguousarray(inputs[0]).reshape(inputs[0].shape[0], -1)
+        y = flat @ w.T
+        if b is not None:
+            y += b[None, :]
+        return y
+
+    def input_vjp(inputs, output, grad):
+        return ((grad @ w).reshape(inputs[0].shape),)
+
+    return NumericOp("dense", forward, input_vjp)
+
+
+def _make_softmax_loss(rng, in_shapes, out_shape, attrs, dtype, batch_size) -> NumericOp:
+    num_classes = int(np.prod(in_shapes[0]))
+    labels = rng.integers(0, num_classes, size=batch_size)
+
+    def _shifted(x):
+        z = np.ascontiguousarray(x).reshape(x.shape[0], -1)
+        return z - z.max(axis=1, keepdims=True)
+
+    def _probs(x):
+        e = np.exp(_shifted(x))
+        return e / e.sum(axis=1, keepdims=True)
+
+    def forward(inputs):
+        # Stable log-softmax cross-entropy: never -log(0), even when the
+        # winning logit dominates by hundreds (deep unnormalized nets).
+        zs = _shifted(inputs[0])
+        rows = np.arange(zs.shape[0])
+        lse = np.log(np.exp(zs).sum(axis=1))
+        return (lse - zs[rows, labels[:zs.shape[0]]]).reshape(-1, 1).astype(dtype)
+
+    def input_vjp(inputs, output, grad):
+        p = _probs(inputs[0])
+        rows = np.arange(p.shape[0])
+        gz = p * grad  # grad has shape (batch, 1); broadcasts over classes
+        gz[rows, labels[:p.shape[0]]] -= grad[:, 0]
+        return (gz.reshape(inputs[0].shape).astype(dtype),)
+
+    return NumericOp("softmax_loss", forward, input_vjp)
+
+
+_MAKERS: Dict[str, Callable[..., NumericOp]] = {
+    "conv2d": _make_conv2d,
+    "depthwise_conv2d": _make_depthwise_conv2d,
+    "conv_transpose2d": _make_conv_transpose2d,
+    "maxpool2d": _make_maxpool2d,
+    "avgpool2d": _make_avgpool2d,
+    "global_avgpool": _make_global_avgpool,
+    "upsample2d": _make_upsample2d,
+    "relu": _make_relu,
+    "batchnorm": _make_batchnorm,
+    "add": _make_add,
+    "concat": _make_concat,
+    "flatten": _make_flatten,
+    "dense": _make_dense,
+    "softmax_loss": _make_softmax_loss,
+}
+
+SUPPORTED_OP_TYPES = frozenset(_MAKERS)
+
+
+def make_numeric_op(op_type: str, *, rng: np.random.Generator,
+                    in_shapes: Sequence[Tuple[int, ...]],
+                    out_shape: Tuple[int, ...],
+                    attrs: Optional[dict] = None,
+                    batch_size: int,
+                    dtype: np.dtype) -> NumericOp:
+    """Instantiate one executable op (parameters drawn from ``rng``).
+
+    ``in_shapes``/``out_shape`` are *per-example* shapes as recorded by the
+    graph builder; all runtime arrays carry a leading batch dimension.
+    Raises :class:`UnsupportedOpError` for op types without a NumPy kernel.
+    """
+    if op_type not in _MAKERS:
+        raise UnsupportedOpError(
+            f"op type {op_type!r} has no NumPy implementation; "
+            f"supported: {sorted(_MAKERS)}")
+    in_shapes = [tuple(int(d) for d in s) for s in in_shapes]
+    out_shape = tuple(int(d) for d in out_shape)
+    attrs = dict(attrs or {})
+    dtype = np.dtype(dtype)
+    if op_type == "softmax_loss":
+        return _make_softmax_loss(rng, in_shapes, out_shape, attrs, dtype, batch_size)
+    return _MAKERS[op_type](rng, in_shapes, out_shape, attrs, dtype)

@@ -4,6 +4,13 @@ A :class:`NumericGraph` pairs a :class:`~repro.core.dfgraph.DFGraph` with a
 function per node.  Builders are provided for a dense chain (mat-mul + tanh
 stack) and a random skip-connected DAG; both are deterministic given a seed so
 tests can compare rematerialized and checkpoint-all execution exactly.
+
+These toy builders construct graph and functions together; real model-zoo
+graphs (and the training graphs ``make_training_graph`` derives from them)
+become :class:`NumericGraph` instances through
+:func:`repro.execution.bind_numeric_graph`, which reconstructs each layer's
+recorded op type as a NumPy kernel and synthesizes gradient-node functions
+from per-op vector-Jacobian products.
 """
 
 from __future__ import annotations

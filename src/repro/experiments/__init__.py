@@ -27,7 +27,8 @@ from .integrality_gap import IntegralityGapResult, integrality_gap_experiment
 from .max_batch import MaxBatchResult, max_batch_size, max_batch_experiment
 from .memory_breakdown import memory_breakdown_table
 from .memory_timeline import MemoryTimeline, memory_timeline
-from .presets import EXPERIMENT_MODELS, build_training_graph, preset_model
+from .presets import (EXPERIMENT_MODELS, build_numeric_training_graph,
+                      build_training_graph, preset_model)
 from .rounding_comparison import rounding_comparison, naive_rounding_study
 from .schedule_viz import render_schedule_ascii, schedule_visualization
 from .strategy_matrix import strategy_matrix_rows, format_strategy_matrix
@@ -50,6 +51,7 @@ __all__ = [
     "memory_timeline",
     "EXPERIMENT_MODELS",
     "build_training_graph",
+    "build_numeric_training_graph",
     "preset_model",
     "rounding_comparison",
     "naive_rounding_study",

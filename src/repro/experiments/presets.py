@@ -21,8 +21,10 @@ from ..autodiff import BackwardConfig, make_training_graph
 from ..core.dfgraph import DFGraph
 from ..cost_model import CostModel, FlopCostModel, ProfileCostModel
 from ..models import fcn8, mobilenet_v1, resnet50, resnet_tiny, segnet, unet, vgg16, vgg19
+from ..models.linear import linear_cnn, linear_mlp
 
-__all__ = ["ExperimentModel", "EXPERIMENT_MODELS", "preset_model", "build_training_graph"]
+__all__ = ["ExperimentModel", "EXPERIMENT_MODELS", "preset_model",
+           "build_training_graph", "build_numeric_training_graph"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,25 @@ EXPERIMENT_MODELS: Dict[str, ExperimentModel] = {
         ci_kwargs={"batch_size": 4, "resolution": 32},
         paper_kwargs={"batch_size": 64, "resolution": 32},
     ),
+    # Linear/chain workloads: the setting of the prior checkpointing work the
+    # paper generalizes (Appendix A, Figure 1).  Small enough that exact MILP
+    # solves finish in seconds, and -- like every builder graph -- executable
+    # over real tensors via the NumPy backend.
+    "linear_mlp": ExperimentModel(
+        name="LinearMLP",
+        builder=linear_mlp,
+        ci_kwargs={"hidden_sizes": [64] * 8, "batch_size": 8, "input_features": 64},
+        paper_kwargs={"hidden_sizes": [4096] * 8, "batch_size": 256,
+                      "input_features": 4096},
+    ),
+    "linear_cnn": ExperimentModel(
+        name="LinearCNN",
+        builder=linear_cnn,
+        ci_kwargs={"num_layers": 8, "batch_size": 2, "resolution": 32,
+                   "channels": 16, "pool_every": 3},
+        paper_kwargs={"num_layers": 8, "batch_size": 64, "resolution": 224,
+                      "channels": 64, "pool_every": 3},
+    ),
 }
 
 
@@ -125,3 +146,30 @@ def build_training_graph(
     training = make_training_graph(forward, backward_config)
     model = cost_model or FlopCostModel()
     return model.apply(training)
+
+
+def build_numeric_training_graph(
+    key_or_graph,
+    *,
+    scale: str = "ci",
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    batch_size: Optional[int] = None,
+    backward_config: Optional[BackwardConfig] = None,
+    **overrides,
+):
+    """Preset/forward graph -> *executable* training graph.
+
+    Builds the same training graph as :func:`build_training_graph` and binds
+    NumPy forward and backward functions to every node (deterministic in
+    ``seed``), returning a :class:`~repro.execution.ops.NumericGraph` whose
+    schedules can be run over real tensors with
+    :func:`~repro.execution.execute_plan` /
+    :func:`~repro.execution.build_execution_report`.
+    """
+    from ..execution import bind_numeric_graph
+
+    training = build_training_graph(
+        key_or_graph, scale=scale, cost_model=cost_model, batch_size=batch_size,
+        backward_config=backward_config, **overrides)
+    return bind_numeric_graph(training, seed=seed)

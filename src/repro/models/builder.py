@@ -36,6 +36,7 @@ class _LayerRecord:
     out_shape: L.Shape
     flops: float
     params: int
+    attrs: Dict[str, object] = field(default_factory=dict)
 
 
 class LayerGraphBuilder:
@@ -79,8 +80,16 @@ class LayerGraphBuilder:
         return self._records[node].out_shape
 
     def add_layer(self, name: str, op_type: str, parents: Sequence[int],
-                  out_shape: L.Shape, flops: float, params: int = 0) -> int:
-        """Add an arbitrary layer with explicit shape / FLOPs / parameter count."""
+                  out_shape: L.Shape, flops: float, params: int = 0,
+                  attrs: Optional[Dict[str, object]] = None) -> int:
+        """Add an arbitrary layer with explicit shape / FLOPs / parameter count.
+
+        ``attrs`` records the operation's hyper-parameters (kernel size,
+        stride, padding, ...) so that downstream consumers -- notably the
+        NumPy execution backend, which binds a real tensor function to every
+        node -- can reconstruct the op exactly instead of inferring it from
+        shapes.
+        """
         resolved: List[int] = []
         for p in parents:
             if p == INPUT:
@@ -95,6 +104,7 @@ class LayerGraphBuilder:
             out_shape=tuple(int(d) for d in out_shape),
             flops=float(flops),
             params=int(params),
+            attrs=dict(attrs or {}),
         )
         self._records.append(record)
         return len(self._records) - 1
@@ -109,7 +119,9 @@ class LayerGraphBuilder:
         out_shape = L.conv2d_output_shape(in_shape, out_channels, kernel, stride, padding)
         flops = L.conv2d_flops(in_shape, out_shape, kernel)
         params = L.conv2d_params(in_shape[0], out_channels, kernel, bias)
-        return self.add_layer(name, "conv2d", [parent], out_shape, flops, params)
+        return self.add_layer(name, "conv2d", [parent], out_shape, flops, params,
+                              attrs={"kernel": kernel, "stride": stride,
+                                     "padding": padding, "bias": bias})
 
     def depthwise_conv(self, name: str, parent: int, kernel: int = 3, stride: int = 1) -> int:
         """Depthwise separable convolution's depthwise stage (MobileNet)."""
@@ -117,7 +129,9 @@ class LayerGraphBuilder:
         out_shape = L.conv2d_output_shape(in_shape, in_shape[0], kernel, stride, "same")
         flops = L.depthwise_conv2d_flops(in_shape, out_shape, kernel)
         params = L.depthwise_conv2d_params(in_shape[0], kernel)
-        return self.add_layer(name, "depthwise_conv2d", [parent], out_shape, flops, params)
+        return self.add_layer(name, "depthwise_conv2d", [parent], out_shape, flops, params,
+                              attrs={"kernel": kernel, "stride": stride,
+                                     "padding": "same", "bias": True})
 
     def conv_transpose(self, name: str, parent: int, out_channels: int, kernel: int = 2,
                        stride: int = 2) -> int:
@@ -126,17 +140,24 @@ class LayerGraphBuilder:
         out_shape = L.conv_transpose2d_output_shape(in_shape, out_channels, kernel, stride)
         flops = L.conv_transpose2d_flops(in_shape, out_shape, kernel)
         params = L.conv2d_params(in_shape[0], out_channels, kernel)
-        return self.add_layer(name, "conv_transpose2d", [parent], out_shape, flops, params)
+        return self.add_layer(name, "conv_transpose2d", [parent], out_shape, flops, params,
+                              attrs={"kernel": kernel, "stride": stride, "bias": True})
 
     def maxpool(self, name: str, parent: int, kernel: int = 2, stride: Optional[int] = None) -> int:
         in_shape = self.shape_of(parent)
         out_shape = L.pool2d_output_shape(in_shape, kernel, stride)
-        return self.add_layer(name, "maxpool2d", [parent], out_shape, L.pool2d_flops(out_shape, kernel))
+        return self.add_layer(name, "maxpool2d", [parent], out_shape,
+                              L.pool2d_flops(out_shape, kernel),
+                              attrs={"kernel": kernel,
+                                     "stride": stride if stride is not None else kernel})
 
     def avgpool(self, name: str, parent: int, kernel: int = 2, stride: Optional[int] = None) -> int:
         in_shape = self.shape_of(parent)
         out_shape = L.pool2d_output_shape(in_shape, kernel, stride)
-        return self.add_layer(name, "avgpool2d", [parent], out_shape, L.pool2d_flops(out_shape, kernel))
+        return self.add_layer(name, "avgpool2d", [parent], out_shape,
+                              L.pool2d_flops(out_shape, kernel),
+                              attrs={"kernel": kernel,
+                                     "stride": stride if stride is not None else kernel})
 
     def global_avgpool(self, name: str, parent: int) -> int:
         in_shape = self.shape_of(parent)
@@ -146,7 +167,8 @@ class LayerGraphBuilder:
     def upsample(self, name: str, parent: int, factor: int = 2) -> int:
         in_shape = self.shape_of(parent)
         out_shape = L.upsample_output_shape(in_shape, factor)
-        return self.add_layer(name, "upsample2d", [parent], out_shape, L.upsample_flops(out_shape))
+        return self.add_layer(name, "upsample2d", [parent], out_shape,
+                              L.upsample_flops(out_shape), attrs={"factor": factor})
 
     def relu(self, name: str, parent: int) -> int:
         shape = self.shape_of(parent)
@@ -181,7 +203,8 @@ class LayerGraphBuilder:
         in_features = L.numel(shape)
         return self.add_layer(name, "dense", [parent], (int(out_features),),
                               L.dense_flops(in_features, out_features),
-                              L.dense_params(in_features, out_features, bias))
+                              L.dense_params(in_features, out_features, bias),
+                              attrs={"bias": bias})
 
     def softmax_loss(self, name: str, parent: int) -> int:
         """Classification head: softmax + loss collapsed into a single scalar-output node."""
@@ -239,6 +262,7 @@ class LayerGraphBuilder:
             "dtype_bytes": self.dtype_bytes,
             "input_shape": self.input_shape,
             "op_types": [r.op_type for r in self._records],
+            "op_attrs": [r.attrs for r in self._records],
             "shapes": [r.out_shape for r in self._records],
             "flops": [r.flops * self.batch_size for r in self._records],
             "params": [r.params for r in self._records],

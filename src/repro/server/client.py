@@ -101,6 +101,24 @@ class ServeClient:
             payload["options"] = options
         return self._request("POST", "/v1/solve", payload)
 
+    def submit_execute(self, *, strategy: str,
+                       graph: Optional[DFGraph] = None,
+                       preset: Optional[str] = None,
+                       scale: str = "ci",
+                       batch_size: Optional[int] = None,
+                       cost_model: Optional[str] = None,
+                       budget: Optional[float] = None,
+                       options: Optional[dict] = None,
+                       seed: int = 0,
+                       priority: int = 0) -> dict:
+        """``POST /v1/execute``: solve + run over NumPy tensors; job handle dict."""
+        payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
+        payload.update({"strategy": strategy, "budget": budget,
+                        "seed": seed, "priority": priority})
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/v1/execute", payload)
+
     def submit_sweep(self, *,
                      graph: Optional[DFGraph] = None,
                      preset: Optional[str] = None,

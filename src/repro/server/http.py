@@ -5,6 +5,7 @@ Endpoints (all JSON bodies/responses, ``/v1`` prefix):
 ============================== =============================================
 ``POST /v1/solve``             submit one solve; 202 + job handle
 ``POST /v1/sweep``             submit a (strategy, budget) sweep; 202 + job
+``POST /v1/execute``           solve + run over NumPy tensors; 202 + job
 ``GET  /v1/jobs``              list retained jobs (``?state=queued`` filter)
 ``GET  /v1/jobs/{id}``         job status/lifecycle
 ``GET  /v1/jobs/{id}/result``  result payload (409 until terminal)
@@ -36,7 +37,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from ..core.dfgraph import DFGraph
-from ..cost_model import FlopCostModel, ProfileCostModel, UniformCostModel
+from ..cost_model import COST_MODELS
 from ..experiments.presets import EXPERIMENT_MODELS, build_training_graph
 from ..service import SolveService, SolverOptions, SweepCell
 from ..utils.serialization import graph_from_wire, result_to_wire
@@ -47,11 +48,7 @@ __all__ = ["SolveServer", "DEFAULT_PORT", "serve"]
 DEFAULT_PORT = 8765
 API_VERSION = "v1"
 
-_COST_MODELS = {
-    "flop": FlopCostModel,
-    "profile": ProfileCostModel,
-    "uniform": UniformCostModel,
-}
+_COST_MODELS = COST_MODELS
 
 _OPTION_FIELDS = frozenset(SolverOptions.__dataclass_fields__)
 
@@ -153,6 +150,40 @@ class _App:
             raise ApiError(404, str(exc.args[0])) from None
         return 202, self._job_accepted(job)
 
+    def post_execute(self, payload: dict) -> Tuple[int, dict]:
+        """Solve one cell, lower the plan and run it over real tensors.
+
+        Same payload as ``/v1/solve`` plus an optional integer ``seed``
+        steering the deterministic parameter/input binding.  The job's result
+        is the predicted-vs-measured
+        :class:`~repro.execution.report.ExecutionReport`.  The graph (preset
+        or wire value) must carry builder metadata with executable op types;
+        toy/hand-built graphs are rejected with 400 at submission.
+        """
+        graph = _build_graph(payload)
+        from ..execution import unsupported_op_types
+        unsupported = unsupported_op_types(graph)
+        if unsupported:
+            raise ApiError(400, f"graph {graph.name!r} is not executable: "
+                                f"unsupported op types {unsupported}")
+        strategy = payload.get("strategy")
+        if not isinstance(strategy, str):
+            raise ApiError(400, "'strategy' (string) is required")
+        budget = _parse_budget(payload.get("budget"))
+        options = _parse_options(payload.get("options"))
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ApiError(400, "'seed' must be an integer")
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        try:
+            job = self.queue.submit_execute(graph, strategy, budget, options,
+                                            seed=seed, priority=priority)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0])) from None
+        return 202, self._job_accepted(job)
+
     def post_sweep(self, payload: dict) -> Tuple[int, dict]:
         graph = _build_graph(payload)
         options = _parse_options(payload.get("options"))
@@ -228,6 +259,8 @@ class _App:
             raise ApiError(409, f"job {job_id} {job.state.value}: {job.error}")
         if job.kind == "solve":
             body = {"job": job.to_dict(), "result": result_to_wire(job.result)}
+        elif job.kind == "execute":
+            body = {"job": job.to_dict(), "report": job.result.to_dict()}
         else:
             body = {"job": job.to_dict(),
                     "results": [result_to_wire(r) for r in job.result]}
@@ -386,6 +419,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return app.post_solve(self._read_json())
             if path == f"/{API_VERSION}/sweep":
                 return app.post_sweep(self._read_json())
+            if path == f"/{API_VERSION}/execute":
+                return app.post_execute(self._read_json())
             match = _JOB_PATH.match(path)
             if match and match.group("sub") == "/cancel":
                 return app.cancel_job(match.group("job_id"))

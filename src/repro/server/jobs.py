@@ -93,15 +93,26 @@ class _SweepWork:
     options: Optional[SolverOptions]
 
 
+@dataclass(frozen=True)
+class _ExecuteWork:
+    graph: DFGraph
+    strategy: str
+    budget: Optional[float]
+    options: Optional[SolverOptions]
+    seed: int
+
+
 class Job:
-    """Handle for one submitted solve or sweep.
+    """Handle for one submitted solve, sweep or execute.
 
     State transitions are owned by the :class:`JobQueue` (under its lock);
     callers observe ``state``/``result``/``error`` and may :meth:`wait` on
     the terminal event.  ``result`` is a
-    :class:`~repro.core.schedule.ScheduledResult` for solve jobs and a list
-    of them for sweep jobs; treat it as immutable -- it may be shared with
-    other jobs of the same flight group and with the plan cache.
+    :class:`~repro.core.schedule.ScheduledResult` for solve jobs, a list of
+    them for sweep jobs and an
+    :class:`~repro.execution.report.ExecutionReport` for execute jobs; treat
+    it as immutable -- it may be shared with other jobs of the same flight
+    group and with the plan cache.
     """
 
     def __init__(self, kind: str, description: str, priority: int,
@@ -310,6 +321,32 @@ class JobQueue:
         work = _SweepWork(graph, tuple(normalized), options)
         return self._submit("sweep", key, work, priority, description, graph_hash)
 
+    def submit_execute(self, graph: DFGraph, strategy: str,
+                       budget: Optional[float] = None,
+                       options: Optional[SolverOptions] = None, *,
+                       seed: int = 0,
+                       priority: int = 0,
+                       description: Optional[str] = None) -> Job:
+        """Enqueue a solve-and-execute job (NumPy execution + cross-check).
+
+        The flight key extends the solve key with the binding ``seed``:
+        identical concurrent execute requests ride one solver invocation and
+        one tensor execution; an execute and a plain solve of the same cell
+        still share the *plan cache* (the execute binds and runs, the solve
+        answers from cache or vice versa) without single-flighting.
+        """
+        spec = self.service.registry.get(strategy)
+        options = options if options is not None else self.service.default_options
+        graph_hash = graph_content_hash(graph)
+        key = ("execute/" + PlanCacheKey.build(graph_hash, spec.key, budget,
+                                               options.cache_token(spec.option_map))
+               + f"/seed={int(seed)}")
+        budget_txt = "none" if budget is None else f"{budget:g}"
+        description = description or (
+            f"execute {graph.name} strategy={spec.key} budget={budget_txt} seed={seed}")
+        work = _ExecuteWork(graph, spec.key, budget, options, int(seed))
+        return self._submit("execute", key, work, priority, description, graph_hash)
+
     def _submit(self, kind: str, key: str, work, priority: int,
                 description: str, graph_hash: str) -> Job:
         job = Job(kind, description, priority, key, graph_hash)
@@ -429,6 +466,10 @@ class JobQueue:
         if isinstance(work, _SolveWork):
             return self.service.solve(work.graph, work.strategy, work.budget,
                                       work.options, should_cancel=abandoned)
+        if isinstance(work, _ExecuteWork):
+            return self.service.execute(work.graph, work.strategy, work.budget,
+                                        work.options, seed=work.seed,
+                                        should_cancel=abandoned)
         return self.service.sweep(work.graph, work.cells, options=work.options,
                                   should_cancel=abandoned)
 

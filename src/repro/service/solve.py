@@ -84,12 +84,14 @@ class SolveStats:
 
     ``cache_hits``/``cache_misses`` only count solves that consulted the
     cache; with caching disabled (``cache=None`` or ``use_cache=False``)
-    neither counter moves.
+    neither counter moves.  ``executions`` counts :meth:`SolveService.execute`
+    runs (each also shows up as a solve or a cache hit).
     """
 
     solver_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    executions: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, solver_call: bool, cache_hit: Optional[bool]) -> None:
@@ -101,9 +103,14 @@ class SolveStats:
             elif cache_hit is False:
                 self.cache_misses += 1
 
+    def record_execution(self) -> None:
+        with self._lock:
+            self.executions += 1
+
     def reset(self) -> None:
         with self._lock:
             self.solver_calls = self.cache_hits = self.cache_misses = 0
+            self.executions = 0
 
 
 @dataclass(frozen=True)
@@ -235,6 +242,51 @@ class SolveService:
             ), False
 
     # ------------------------------------------------------------------ #
+    # Solve-and-execute
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        numeric_or_graph,
+        strategy: str,
+        budget: Optional[float] = None,
+        options: Optional[SolverOptions] = None,
+        *,
+        seed: int = 0,
+        use_cache: bool = True,
+        strict: bool = False,
+        should_cancel: Optional[Callable[[], bool]] = None,
+        record_outputs: Optional[Sequence[int]] = None,
+    ):
+        """Solve one cell, lower it, run it over NumPy tensors, cross-check.
+
+        ``numeric_or_graph`` is either a ready
+        :class:`~repro.execution.ops.NumericGraph` or a plain
+        :class:`~repro.core.dfgraph.DFGraph` carrying builder metadata, in
+        which case it is bound via
+        :func:`~repro.execution.bind_numeric_graph` with ``seed``.  The solve
+        itself goes through :meth:`solve` (plan cache included -- a warm
+        cache means *execute* pays only for the actual tensor computation).
+
+        Returns the :class:`~repro.execution.report.ExecutionReport`
+        comparing measured peak live bytes, recompute counts and outputs
+        against the simulator predictions and checkpoint-all execution.
+        Infeasible solves return a report with ``executed=False``.
+        """
+        from ..execution import NumericGraph, bind_numeric_graph, build_execution_report
+
+        if isinstance(numeric_or_graph, NumericGraph):
+            numeric = numeric_or_graph
+        else:
+            numeric = bind_numeric_graph(numeric_or_graph, seed=seed)
+        result = self.solve(numeric.graph, strategy, budget, options,
+                            use_cache=use_cache, strict=strict,
+                            should_cancel=should_cancel)
+        report = build_execution_report(numeric, result,
+                                        record_outputs=record_outputs)
+        self.stats.record_execution()
+        return report
+
+    # ------------------------------------------------------------------ #
     # Parallel fan-out
     # ------------------------------------------------------------------ #
     def sweep(
@@ -334,6 +386,7 @@ class SolveService:
                 "solver_calls": self.stats.solver_calls,
                 "cache_hits": self.stats.cache_hits,
                 "cache_misses": self.stats.cache_misses,
+                "executions": self.stats.executions,
             }
         snapshot["registered_solvers"] = len(self.registry)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None

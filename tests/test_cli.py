@@ -72,6 +72,39 @@ class TestCliOffline:
         assert proc.returncode == 1
         assert "error" in proc.stderr.lower()
 
+    def test_execute_local(self):
+        proc = run_cli("execute", "--preset", "linear_mlp",
+                       "--strategy", "checkmate_ilp",
+                       "--budget-fraction", "0.7")
+        assert proc.returncode == 0, proc.stderr
+        assert "verdict         OK" in proc.stdout
+        assert "within budget: True" in proc.stdout
+
+    def test_execute_local_json(self):
+        import json as json_mod
+        proc = run_cli("execute", "--preset", "linear_mlp",
+                       "--strategy", "checkpoint_all", "--json")
+        assert proc.returncode == 0, proc.stderr
+        report = json_mod.loads(proc.stdout)
+        assert report["ok"] is True
+        assert report["outputs_match"] is True
+
+    def test_execute_rejects_conflicting_budgets(self):
+        proc = run_cli("execute", "--preset", "linear_mlp",
+                       "--strategy", "checkmate_ilp",
+                       "--budget", "1GiB", "--budget-fraction", "0.5")
+        assert proc.returncode == 2
+        assert "at most one" in proc.stderr
+
+    def test_execute_rejects_unknown_option_cleanly(self):
+        proc = run_cli("execute", "--preset", "linear_mlp",
+                       "--strategy", "checkmate_ilp",
+                       "--option", "time_limit=60")  # typo for time_limit_s
+        assert proc.returncode == 2
+        assert "unknown solver options" in proc.stderr
+        assert "time_limit_s" in proc.stderr  # the known list is shown
+        assert "Traceback" not in proc.stderr
+
 
 class TestCliAgainstServer:
     @pytest.fixture()
@@ -128,3 +161,14 @@ class TestCliAgainstServer:
                        "--preset", "resnet_tiny", "--strategy", "nope")
         assert proc.returncode == 1
         assert "unknown solver" in proc.stderr
+
+    def test_execute_against_server(self, server):
+        import json as json_mod
+        proc = run_cli("execute", "--server", server.url,
+                       "--preset", "linear_mlp",
+                       "--strategy", "checkmate_ilp",
+                       "--budget-fraction", "0.7")
+        assert proc.returncode == 0, proc.stderr
+        report = json_mod.loads(proc.stdout.split("\n", 1)[1])
+        assert report["ok"] is True
+        assert report["within_budget"] is True

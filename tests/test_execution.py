@@ -110,3 +110,127 @@ class TestRematerializedExecution:
         plan.append(ComputeNode(0, 2))  # parent value missing
         with pytest.raises(PlanSimulationError):
             execute_plan(numeric, plan)
+
+
+# --------------------------------------------------------------------------- #
+# Register-reuse contract: executor and simulator account and raise alike
+# --------------------------------------------------------------------------- #
+def _chain_numeric_and_plan_builders():
+    """A 3-node chain (32 B per value) plus plan-statement shorthands."""
+    from repro.core.plan import (
+        AllocateRegister,
+        ComputeNode,
+        DeallocateRegister,
+        ExecutionPlan,
+    )
+    numeric = make_numeric_chain(num_layers=1, width=4, seed=0)  # input, layer, loss
+
+    def plan_of(*statements):
+        plan = ExecutionPlan(statements=list(statements),
+                             graph_name=numeric.graph.name)
+        return plan
+
+    return (numeric, plan_of, AllocateRegister, ComputeNode, DeallocateRegister)
+
+
+class TestRegisterReuseContract:
+    """The confirmed accounting bugs: recompute into a still-live register."""
+
+    def test_executor_does_not_double_count_recompute(self):
+        # 3 compute statements, one register reused for node 0 (32 B values):
+        # the old executor charged 32 B per compute without releasing the
+        # replaced value (96 B "peak"); the true peak holds node 0 once plus
+        # node 1 once = 64 B.
+        numeric, plan_of, Alloc, Compute, Dealloc = _chain_numeric_and_plan_builders()
+        plan = plan_of(
+            Alloc(0, 0, 32), Compute(0, 0), Compute(0, 0),
+            Alloc(1, 1, 32), Compute(1, 1),
+            Dealloc(0, 0), Dealloc(1, 1),
+        )
+        plan.validate_structure()  # repeated compute per register is legal
+        result = execute_plan(numeric, plan)
+        assert result.peak_live_bytes == 64
+        assert result.num_compute == 3
+        assert result.compute_counts == {0: 2, 1: 1}
+
+    def test_simulator_refcount_survives_recompute_then_dealloc(self):
+        # Two computes into one register then a single dealloc: the old
+        # simulator leaked the refcount, leaving node 0 "resident" after its
+        # register was freed -- so the dependent compute below silently
+        # passed validation.  It must raise.
+        from repro.core.simulator import simulate_plan
+        numeric, plan_of, Alloc, Compute, Dealloc = _chain_numeric_and_plan_builders()
+        graph = numeric.graph
+        plan = plan_of(
+            Alloc(0, 0, 32), Compute(0, 0), Compute(0, 0), Dealloc(0, 0),
+            Alloc(1, 1, 32), Compute(1, 1),  # parent 0 is dead: must raise
+        )
+        with pytest.raises(PlanSimulationError, match="not resident"):
+            simulate_plan(graph, plan)
+        with pytest.raises(PlanSimulationError, match="not resident"):
+            execute_plan(numeric, plan)
+
+    def test_simulator_memory_constant_across_recompute(self):
+        from repro.core.simulator import simulate_plan
+        numeric, plan_of, Alloc, Compute, Dealloc = _chain_numeric_and_plan_builders()
+        plan = plan_of(
+            Alloc(0, 0, 32), Compute(0, 0), Compute(0, 0),
+            Alloc(1, 1, 32), Compute(1, 1),
+            Dealloc(0, 0), Dealloc(1, 1),
+        )
+        trace = simulate_plan(numeric.graph, plan)
+        overhead = numeric.graph.constant_overhead
+        assert trace.peak_memory == overhead + 64
+        # After both deallocations everything is released again.
+        assert trace.memory_by_statement[-1] == overhead
+
+    @pytest.mark.parametrize("mutation", ["dead_compute", "dead_dealloc",
+                                          "realloc_live", "foreign_node"])
+    def test_executor_and_simulator_raise_identically(self, mutation):
+        from repro.core.simulator import simulate_plan
+        numeric, plan_of, Alloc, Compute, Dealloc = _chain_numeric_and_plan_builders()
+        if mutation == "dead_compute":
+            plan = plan_of(Alloc(0, 0, 32), Compute(0, 0), Dealloc(0, 0),
+                           Compute(0, 0))
+        elif mutation == "dead_dealloc":
+            plan = plan_of(Alloc(0, 0, 32), Compute(0, 0), Dealloc(0, 0),
+                           Dealloc(0, 0))
+        elif mutation == "realloc_live":
+            plan = plan_of(Alloc(0, 0, 32), Compute(0, 0), Alloc(0, 1, 32))
+        else:  # register allocated for node 0, computed with node 1
+            plan = plan_of(Alloc(0, 0, 32), Compute(0, 0), Alloc(1, 1, 32),
+                           Compute(1, 0))
+        with pytest.raises(PlanSimulationError) as sim_err:
+            simulate_plan(numeric.graph, plan)
+        with pytest.raises(PlanSimulationError) as exec_err:
+            execute_plan(numeric, plan)
+        assert str(sim_err.value) == str(exec_err.value)
+
+    def test_duplicated_value_survives_one_dealloc(self):
+        # Node 0 computed into two registers: deallocating either copy keeps
+        # the node resident (residency = "some register holds the value").
+        from repro.core.simulator import simulate_plan
+        numeric, plan_of, Alloc, Compute, Dealloc = _chain_numeric_and_plan_builders()
+        plan = plan_of(
+            Alloc(0, 0, 32), Compute(0, 0),
+            Alloc(1, 0, 32), Compute(1, 0),
+            Dealloc(0, 0),                     # first copy freed
+            Alloc(2, 1, 32), Compute(2, 1),    # parent still resident via %1
+            Dealloc(1, 0), Dealloc(2, 1),
+        )
+        result = execute_plan(numeric, plan)
+        assert result.peak_live_bytes == 64  # both copies live at once
+        trace = simulate_plan(numeric.graph, plan)
+        assert trace.peak_memory == numeric.graph.constant_overhead + 64
+
+    def test_algorithm1_plans_unchanged_by_fixes(self):
+        # Plans lowered from (R, S) never recompute into a live register, so
+        # the fixes must not move their accounting.
+        numeric = make_numeric_chain(num_layers=6, width=8, seed=5)
+        plan = generate_execution_plan(numeric.graph,
+                                       checkpoint_last_node_schedule(numeric.graph))
+        from repro.core.simulator import simulate_plan
+        result = execute_plan(numeric, plan)
+        trace = simulate_plan(numeric.graph, plan)
+        assert (result.peak_live_bytes + numeric.graph.constant_overhead
+                == trace.peak_memory)

@@ -306,6 +306,59 @@ class TestHttpApi:
         results = client.result(handle["job_id"])["results"]
         assert len(results) == 4
 
+    def test_execute_by_preset(self, client):
+        handle = client.submit_execute(preset="linear_mlp",
+                                       strategy="checkmate_ilp",
+                                       budget=8 * 2**30, seed=1)
+        status = client.wait(handle["job_id"], timeout=120)
+        assert status["state"] == "done", status
+        payload = client.result(handle["job_id"])
+        report = payload["report"]
+        assert report["ok"] is True
+        assert report["executed"] is True
+        assert report["outputs_match"] is True
+        assert report["measured_peak_bytes"] == report["predicted_plan_peak"]
+        assert payload["job"]["kind"] == "execute"
+
+    def test_execute_by_graph_upload(self, client):
+        from repro.experiments.presets import build_training_graph
+
+        graph = build_training_graph("linear_cnn", scale="ci")
+        budget = graph.constant_overhead + 0.8 * graph.total_activation_memory()
+        handle = client.submit_execute(graph=graph, strategy="checkmate_ilp",
+                                       budget=budget)
+        status = client.wait(handle["job_id"], timeout=120)
+        assert status["state"] == "done", status
+        report = client.result(handle["job_id"])["report"]
+        assert report["ok"] is True
+        assert report["within_budget"] is True
+        assert report["measured_peak_bytes"] <= budget
+
+    def test_execute_rejects_graph_without_metadata(self, client, chain5_train):
+        # chain5_train is a hand-built graph: no builder op types to bind.
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_execute(graph=chain5_train, strategy="checkpoint_all")
+        assert err.value.status == 400
+        assert "not executable" in err.value.message
+
+    def test_execute_validates_payload(self, client):
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_execute(preset="linear_mlp", strategy="nope")
+        assert err.value.status == 404
+        with pytest.raises(ServeAPIError) as err:
+            client._request("POST", "/v1/execute",
+                            {"preset": "linear_mlp", "strategy": "checkpoint_all",
+                             "seed": "zero"})
+        assert err.value.status == 400
+        assert "seed" in err.value.message
+
+    def test_execute_counts_in_metrics(self, client):
+        handle = client.submit_execute(preset="linear_mlp",
+                                       strategy="checkpoint_all")
+        client.wait(handle["job_id"], timeout=120)
+        metrics = client.metrics()
+        assert metrics["service"]["executions"] >= 1
+
     def test_result_conflict_while_pending(self, chain5_train):
         # A queued/running job answers 409, not a broken payload.
         registry, gate, _ = counting_registry()
