@@ -25,6 +25,20 @@ the compiled layer targets everything around the solver.  Pass
 Writes ``BENCH_PR3.json`` at the repo root (``--out``).  CI runs
 ``--smoke --min-rebudget-speedup 10`` on the smallest preset as a loose
 regression guard (relative check only; no flaky absolute-time assertions).
+
+``--pr6`` switches the harness to the warm-start benchmarks and writes
+``BENCH_PR6.json`` instead:
+
+* **warm sweep** -- the same 8-budget exact-ILP sweep run twice in the same
+  process against fresh plan caches: once cold (``sweep(warm_start=False)``,
+  the PR 3 behavior) and once with warm-started descending-budget chains.
+  Objectives are compared cell-for-cell (within the MIP gap) so the speedup
+  claim is only reported together with a result-identical check.
+* **pareto vs dense grid** -- ``SolveService.pareto()`` against a dense
+  budget grid at the trace's own resolution; reports solver calls and checks
+  both reach the same frontier staircase.
+
+CI runs ``--pr6 --smoke --min-warm-speedup 1.5`` as the warm-vs-cold guard.
 """
 
 from __future__ import annotations
@@ -48,6 +62,11 @@ PRE_PR_REF = "d815810"
 
 DEFAULT_PRESETS = ("resnet_tiny", "vgg16", "segnet", "unet", "mobilenet")
 SMOKE_PRESET = "resnet_tiny"
+
+#: The warm-start (PR 6) benchmark set: exact-ILP sweeps must stay tractable
+#: cold, which rules the largest presets out.
+PR6_PRESETS = ("linear_mlp", "linear_cnn", "resnet_tiny", "vgg16", "segnet")
+PR6_PARETO_PRESET = "resnet_tiny"
 
 #: Figure-5 strategies minus the exact MILP (see module docstring).
 DEFAULT_SWEEP_STRATEGIES = (
@@ -208,53 +227,218 @@ def sweep_bench(preset: str, num_budgets: int, strategies, baseline_src) -> dict
     return out
 
 
+def warm_sweep_bench(preset: str, num_budgets: int) -> dict:
+    """Same-process warm-vs-cold exact-ILP sweep over ``num_budgets`` cells.
+
+    The budgets are the repo's canonical :func:`budget_grid` -- the same grid
+    ``budget_sweep`` (and hence the PR 3 cold path) solves.  Both runs use
+    fresh plan caches and ``parallel=False`` (isolating the warm-chain effect
+    from thread scheduling); the process-wide formulation cache is populated
+    up front so neither run pays the one-off compile.  The cold run is
+    ``sweep(warm_start=False)``: per cell it is exactly the PR 3 behavior
+    (one full HiGHS solve), modulo the new below-floor shortcut, which fires
+    for cold cells too -- so the reported speedup *understates* the win over
+    a true PR 3 binary on grids that dip below the feasibility floor.
+    """
+    from repro.experiments.budget_sweep import budget_grid
+    from repro.experiments.presets import build_training_graph
+    from repro.service import SolveService, SweepCell
+    from repro.solvers import get_formulation_cache
+
+    graph = build_training_graph(preset)
+    get_formulation_cache().get(graph)
+    cells = [SweepCell("checkmate_ilp", float(b))
+             for b in budget_grid(graph, num_budgets)]
+
+    cold_svc = SolveService()
+    t0 = time.perf_counter()
+    cold = cold_svc.sweep(graph, cells, parallel=False, warm_start=False)
+    cold_s = time.perf_counter() - t0
+
+    warm_svc = SolveService()
+    t0 = time.perf_counter()
+    warm = warm_svc.sweep(graph, cells, parallel=False, warm_start=True)
+    warm_s = time.perf_counter() - t0
+
+    mismatches = []
+    for cell, c, w in zip(cells, cold, warm):
+        if c.feasible != w.feasible:
+            mismatches.append({"budget": cell.budget, "cold": c.feasible,
+                               "warm": w.feasible})
+        elif c.feasible and abs(c.compute_cost - w.compute_cost) > 1e-4 * max(
+                abs(c.compute_cost), abs(w.compute_cost), 1.0):
+            mismatches.append({"budget": cell.budget, "cold": c.compute_cost,
+                               "warm": w.compute_cost})
+
+    stats = warm_svc.statistics()
+    return {
+        "budgets": num_budgets,
+        "strategy": "checkmate_ilp",
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s else None,
+        "objectives_identical": not mismatches,
+        "mismatches": mismatches,
+        "warm_seeds": stats["warm_seeds"],
+        "incumbent_prunes": stats["incumbent_prunes"],
+        "bound_skips": stats["bound_skips"],
+        "infeasible_shortcuts": stats["infeasible_shortcuts"],
+        "warm_statuses": sorted({r.solver_status for r in warm}),
+    }
+
+
+def pareto_bench(preset: str) -> dict:
+    """Bisection frontier trace vs a dense grid at the trace's resolution."""
+    import numpy as np
+    from repro.experiments.presets import build_training_graph
+    from repro.service import SolveService, SweepCell
+
+    graph = build_training_graph(preset)
+    t0 = time.perf_counter()
+    front = SolveService().pareto(graph, "checkmate_ilp")
+    trace_s = time.perf_counter() - t0
+
+    steps = int(round((front.high - front.low) / front.resolution))
+    grid = [float(b) for b in np.linspace(front.low, front.high, steps + 1)]
+    dense_svc = SolveService()
+    t0 = time.perf_counter()
+    dense = dense_svc.sweep(graph, [SweepCell("checkmate_ilp", b) for b in grid],
+                            parallel=False)
+    dense_s = time.perf_counter() - t0
+
+    def staircase(costs, rtol=1e-3):
+        out = []
+        for c in costs:
+            if not out or abs(c - out[-1]) > rtol * max(abs(out[-1]), 1.0):
+                out.append(c)
+        return out
+
+    dense_steps = staircase([r.compute_cost for r in dense if r.feasible])
+    front_steps = staircase([p.compute_cost for p in front.feasible_points])
+    same = len(dense_steps) == len(front_steps) and all(
+        abs(a - b) <= 1e-3 * max(abs(a), abs(b), 1.0)
+        for a, b in zip(dense_steps, front_steps))
+    return {
+        "resolution": front.resolution,
+        "trace_solver_calls": front.solver_calls,
+        "dense_solver_calls": len(grid),
+        "call_ratio": front.solver_calls / len(grid),
+        "trace_s": trace_s,
+        "dense_s": dense_s,
+        "num_knees": len(front.knees()),
+        "same_frontier": same,
+        "frontier_costs": front_steps,
+    }
+
+
+def run_pr6_benchmarks(args, presets, report) -> bool:
+    failed = False
+    for preset in presets:
+        print(f"== {preset} ==")
+        sweep = warm_sweep_bench(preset, args.budgets)
+        report["presets"][preset] = {"warm_sweep": sweep}
+        print(f"  warm sweep ({args.budgets} budgets)  cold "
+              f"{sweep['cold_s']:.2f} s -> warm {sweep['warm_s']:.2f} s "
+              f"({sweep['speedup']:.2f}x, objectives identical: "
+              f"{sweep['objectives_identical']}; "
+              f"{sweep['incumbent_prunes']} prunes, "
+              f"{sweep['bound_skips']} bound skips)")
+        if not sweep["objectives_identical"]:
+            print(f"  ERROR: warm objectives differ: {sweep['mismatches']}")
+            failed = True
+        if (args.min_warm_speedup is not None
+                and (sweep["speedup"] or 0.0) < args.min_warm_speedup):
+            print(f"  ERROR: warm sweep only {sweep['speedup']:.2f}x faster "
+                  f"than cold (required {args.min_warm_speedup:.1f}x)")
+            failed = True
+
+    if not args.smoke:
+        preset = PR6_PARETO_PRESET
+        print(f"== pareto vs dense grid ({preset}) ==")
+        pareto = pareto_bench(preset)
+        report["pareto"] = {"preset": preset, **pareto}
+        print(f"  trace {pareto['trace_solver_calls']} solver calls vs dense "
+              f"{pareto['dense_solver_calls']} "
+              f"({pareto['call_ratio']:.2f}x), {pareto['num_knees']} knees, "
+              f"same frontier: {pareto['same_frontier']}")
+        if not pareto["same_frontier"]:
+            print("  ERROR: bisection missed part of the dense-grid frontier")
+            failed = True
+        if pareto["trace_solver_calls"] * 2 > pareto["dense_solver_calls"]:
+            print("  ERROR: trace spent more than half the dense grid's calls")
+            failed = True
+    return failed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
-    parser.add_argument("--presets", nargs="+", default=list(DEFAULT_PRESETS))
+    parser.add_argument("--presets", nargs="+", default=None)
     parser.add_argument("--budgets", type=int, default=8)
     parser.add_argument("--strategies", nargs="+",
                         default=list(DEFAULT_SWEEP_STRATEGIES))
     parser.add_argument("--baseline-ref", default=PRE_PR_REF,
                         help="git ref of the pre-PR tree (default %(default)s)")
-    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_PR3.json"))
+    parser.add_argument("--out", default=None,
+                        help="report path (default BENCH_PR3.json, or "
+                             "BENCH_PR6.json with --pr6)")
     parser.add_argument("--smoke", action="store_true",
                         help="micro-bench only, smallest preset, no sweeps")
     parser.add_argument("--min-rebudget-speedup", type=float, default=None,
                         help="exit non-zero unless re-budget beats a cold "
                              "compile by at least this factor")
+    parser.add_argument("--pr6", action="store_true",
+                        help="run the warm-start sweep + pareto benchmarks "
+                             "and write BENCH_PR6.json")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="with --pr6: exit non-zero unless the warm sweep "
+                             "beats the cold sweep by at least this factor")
     args = parser.parse_args()
 
-    report = {
-        "pr": 3,
-        "description": "compiled-formulation fast path: compile once per "
-                       "graph, re-budget in O(1)",
-        "baseline_ref": args.baseline_ref,
-        "python": sys.version.split()[0],
-        "presets": {},
-    }
-
-    if args.smoke:
-        presets = [SMOKE_PRESET]
-        baseline_src = None
+    if args.pr6:
+        report = {
+            "pr": 6,
+            "description": "warm-started incremental sweeps and bisection "
+                           "pareto tracing",
+            "python": sys.version.split()[0],
+            "presets": {},
+        }
+        presets = args.presets or (
+            [SMOKE_PRESET] if args.smoke else list(PR6_PRESETS))
+        failed = run_pr6_benchmarks(args, presets, report)
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_PR6.json")
     else:
-        presets = args.presets
-        try:
-            baseline_src = extract_baseline_tree(args.baseline_ref)
-        except (subprocess.CalledProcessError, OSError) as exc:
-            print(f"warning: could not extract baseline {args.baseline_ref}: {exc}")
+        report = {
+            "pr": 3,
+            "description": "compiled-formulation fast path: compile once per "
+                           "graph, re-budget in O(1)",
+            "baseline_ref": args.baseline_ref,
+            "python": sys.version.split()[0],
+            "presets": {},
+        }
+        if args.smoke:
+            presets = [SMOKE_PRESET]
             baseline_src = None
+        else:
+            presets = args.presets or list(DEFAULT_PRESETS)
+            try:
+                baseline_src = extract_baseline_tree(args.baseline_ref)
+            except (subprocess.CalledProcessError, OSError) as exc:
+                print(f"warning: could not extract baseline "
+                      f"{args.baseline_ref}: {exc}")
+                baseline_src = None
 
-    try:
-        failed = run_benchmarks(args, presets, baseline_src, report)
-    finally:
-        if baseline_src is not None:
-            shutil.rmtree(os.path.dirname(baseline_src), ignore_errors=True)
+        try:
+            failed = run_benchmarks(args, presets, baseline_src, report)
+        finally:
+            if baseline_src is not None:
+                shutil.rmtree(os.path.dirname(baseline_src), ignore_errors=True)
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_PR3.json")
 
     if not args.smoke:
-        with open(args.out, "w") as fh:
+        with open(out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"wrote {args.out}")
+        print(f"wrote {out}")
     return 1 if failed else 0
 
 

@@ -12,6 +12,8 @@ without writing Python:
                   --budgets 512MiB,1GiB,2GiB
     $ repro execute --preset linear_mlp --strategy checkmate_ilp \\
                     --budget-fraction 0.6          # solve, run, cross-check
+    $ repro pareto --preset resnet_tiny            # trace the memory/compute
+                                                   # frontier by bisection
     $ repro status                                 # server health + metrics
     $ repro status <job-id>                        # one job's lifecycle
 
@@ -298,6 +300,78 @@ def cmd_execute(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_pareto(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    option_pairs = _parse_option_pairs(args.option)
+    if option_pairs:
+        from .service import SolverOptions
+        unknown = set(option_pairs) - set(SolverOptions.__dataclass_fields__)
+        if unknown:
+            print(f"error: unknown solver options {sorted(unknown)}; known: "
+                  f"{sorted(SolverOptions.__dataclass_fields__)}", file=sys.stderr)
+            return 2
+
+    if args.server:
+        client = _client(args)
+        handle = client.submit_pareto(
+            graph=_load_graph_arg(args.graph), preset=args.preset,
+            scale=args.scale, batch_size=args.batch_size,
+            cost_model=args.cost_model, strategy=args.strategy,
+            low=args.low, high=args.high, resolution=args.resolution,
+            options=option_pairs, priority=args.priority)
+        print(f"pareto job {handle['job_id']} {handle['state']}")
+        if args.no_wait:
+            return 0
+        status = client.wait(handle["job_id"], timeout=args.timeout)
+        if status["state"] != "done":
+            print(f"error: {status.get('error')}", file=sys.stderr)
+            return 1
+        front = client.result(handle["job_id"])["front"]
+    else:
+        graph = _load_graph_arg(args.graph)
+        if graph is None:
+            from .cost_model import COST_MODELS
+            from .experiments.presets import build_training_graph
+            graph = build_training_graph(
+                args.preset, scale=args.scale, batch_size=args.batch_size,
+                cost_model=COST_MODELS[args.cost_model or "flop"]())
+        from .service import SolverOptions, get_default_service
+        options = SolverOptions(**option_pairs) if option_pairs else None
+        front = get_default_service().pareto(
+            graph, args.strategy, low=args.low, high=args.high,
+            resolution=args.resolution, options=options).to_dict()
+
+    if args.json:
+        print(json.dumps(front, indent=2, sort_keys=True))
+        return 0
+    from .utils.formatting import format_table
+    rows = []
+    prev_cost = None
+    for point in front["points"]:
+        cost = point["compute_cost"]
+        if point["feasible"]:
+            knee = (prev_cost is None
+                    or abs(cost - prev_cost) > 2e-4 * max(abs(prev_cost), 1.0))
+            rows.append((_format_bytes(point["budget"]),
+                         f"{cost:.4g}",
+                         _format_bytes(point["peak_memory"]),
+                         point["solver_status"],
+                         "*" if knee else ""))
+            prev_cost = cost
+        else:
+            rows.append((_format_bytes(point["budget"]), "-", "-",
+                         point["solver_status"], ""))
+    print(f"pareto frontier of {front['graph']} / {front['strategy']}: "
+          f"{front['num_points']} points, {front['solver_calls']} solver calls, "
+          f"range [{_format_bytes(front['low'])}, {_format_bytes(front['high'])}] "
+          f"at {_format_bytes(front['resolution'])} resolution")
+    print(format_table(
+        ["budget", "cost", "peak mem", "status", "knee"], rows))
+    return 0
+
+
 def cmd_status(args) -> int:
     client = _client(args)
     if args.job_id:
@@ -428,6 +502,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run through a 'repro serve' daemon instead of locally")
     p.add_argument("--http-timeout", type=float, default=30.0)
     p.set_defaults(fn=cmd_execute)
+
+    p = sub.add_parser("pareto",
+                       help="trace the memory-vs-recompute Pareto frontier by "
+                            "warm-seeded budget bisection")
+    _add_graph_args(p)
+    p.add_argument("--strategy", default="checkmate_ilp",
+                   help="warm-capable strategy to trace (default: checkmate_ilp)")
+    p.add_argument("--low", type=parse_budget, default=None,
+                   help="lower budget bound (default: min-feasible floor)")
+    p.add_argument("--high", type=parse_budget, default=None,
+                   help="upper budget bound (default: checkpoint-all peak)")
+    p.add_argument("--resolution", type=parse_budget, default=None,
+                   help="stop bisecting below this budget width "
+                        "(default: 1/64 of the range)")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE",
+                   help="solver option, repeatable (e.g. --option time_limit_s=60)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full frontier as JSON instead of a table")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="(with --server) print the job id and exit")
+    p.add_argument("--timeout", type=float, default=1800.0)
+    p.add_argument("--server", default=None,
+                   help="run through a 'repro serve' daemon instead of locally")
+    p.add_argument("--http-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_pareto)
 
     p = sub.add_parser("status", help="server health/metrics, or one job's status")
     p.add_argument("job_id", nargs="?", default=None)

@@ -147,6 +147,30 @@ class ServeClient:
             payload["options"] = options
         return self._request("POST", "/v1/sweep", payload)
 
+    def submit_pareto(self, *, strategy: str = "checkmate_ilp",
+                      graph: Optional[DFGraph] = None,
+                      preset: Optional[str] = None,
+                      scale: str = "ci",
+                      batch_size: Optional[int] = None,
+                      cost_model: Optional[str] = None,
+                      low: Optional[float] = None,
+                      high: Optional[float] = None,
+                      resolution: Optional[float] = None,
+                      options: Optional[dict] = None,
+                      priority: int = 0) -> dict:
+        """``POST /v1/pareto``: bisection frontier trace; job handle dict."""
+        payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
+        payload.update({"strategy": strategy, "priority": priority})
+        if low is not None:
+            payload["low"] = low
+        if high is not None:
+            payload["high"] = high
+        if resolution is not None:
+            payload["resolution"] = resolution
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/v1/pareto", payload)
+
     @staticmethod
     def _graph_payload(graph, preset, scale, batch_size, cost_model) -> dict:
         if (graph is None) == (preset is None):

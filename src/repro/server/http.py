@@ -6,6 +6,7 @@ Endpoints (all JSON bodies/responses, ``/v1`` prefix):
 ``POST /v1/solve``             submit one solve; 202 + job handle
 ``POST /v1/sweep``             submit a (strategy, budget) sweep; 202 + job
 ``POST /v1/execute``           solve + run over NumPy tensors; 202 + job
+``POST /v1/pareto``            bisection Pareto-frontier trace; 202 + job
 ``GET  /v1/jobs``              list retained jobs (``?state=queued`` filter)
 ``GET  /v1/jobs/{id}``         job status/lifecycle
 ``GET  /v1/jobs/{id}/result``  result payload (409 until terminal)
@@ -221,6 +222,41 @@ class _App:
             raise ApiError(400, str(exc)) from None
         return 202, self._job_accepted(job)
 
+    def post_pareto(self, payload: dict) -> Tuple[int, dict]:
+        """Trace the memory-vs-recompute frontier by warm-seeded bisection.
+
+        Payload: a graph (preset or wire value), optional ``strategy``
+        (default ``checkmate_ilp``), optional ``low``/``high`` budget bounds
+        and ``resolution`` in bytes, optional ``options``.  The job's result
+        is the :class:`~repro.service.pareto.ParetoFront` as a dict.
+        """
+        graph = _build_graph(payload)
+        strategy = payload.get("strategy", "checkmate_ilp")
+        if not isinstance(strategy, str):
+            raise ApiError(400, "'strategy' must be a string")
+        low = _parse_budget(payload.get("low"))
+        high = _parse_budget(payload.get("high"))
+        resolution = payload.get("resolution")
+        if resolution is not None:
+            if (isinstance(resolution, bool)
+                    or not isinstance(resolution, (int, float))
+                    or resolution <= 0):
+                raise ApiError(400, "'resolution' must be a positive number of bytes")
+            resolution = float(resolution)
+        options = _parse_options(payload.get("options"))
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        try:
+            job = self.queue.submit_pareto(graph, strategy, low=low, high=high,
+                                           resolution=resolution, options=options,
+                                           priority=priority)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0])) from None
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from None
+        return 202, self._job_accepted(job)
+
     @staticmethod
     def _job_accepted(job: Job) -> dict:
         return {
@@ -261,6 +297,8 @@ class _App:
             body = {"job": job.to_dict(), "result": result_to_wire(job.result)}
         elif job.kind == "execute":
             body = {"job": job.to_dict(), "report": job.result.to_dict()}
+        elif job.kind == "pareto":
+            body = {"job": job.to_dict(), "front": job.result.to_dict()}
         else:
             body = {"job": job.to_dict(),
                     "results": [result_to_wire(r) for r in job.result]}
@@ -299,6 +337,7 @@ class _App:
                 "linear_only": spec.linear_only,
                 "has_budget_knob": spec.has_budget_knob,
                 "in_table1": spec.in_table1,
+                "warm_start_capable": spec.warm_start_capable,
             })
         return 200, {"strategies": entries}
 
@@ -421,6 +460,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return app.post_sweep(self._read_json())
             if path == f"/{API_VERSION}/execute":
                 return app.post_execute(self._read_json())
+            if path == f"/{API_VERSION}/pareto":
+                return app.post_pareto(self._read_json())
             match = _JOB_PATH.match(path)
             if match and match.group("sub") == "/cancel":
                 return app.cancel_job(match.group("job_id"))

@@ -102,6 +102,16 @@ class _ExecuteWork:
     seed: int
 
 
+@dataclass(frozen=True)
+class _ParetoWork:
+    graph: DFGraph
+    strategy: str
+    low: Optional[float]
+    high: Optional[float]
+    resolution: Optional[float]
+    options: Optional[SolverOptions]
+
+
 class Job:
     """Handle for one submitted solve, sweep or execute.
 
@@ -202,6 +212,10 @@ class JobQueue:
             raise ValueError("num_workers must be >= 1")
         self.max_history = int(max_history)
         self.latency = LatencyWindow(maxlen=latency_window)
+        # Pareto traces are whole-frontier jobs (many solves each); tracking
+        # them in the per-solve window would skew its quantiles, so they get
+        # their own.
+        self.pareto_latency = LatencyWindow(maxlen=latency_window)
         self.started_at = time.time()
 
         self._lock = threading.Lock()
@@ -347,6 +361,40 @@ class JobQueue:
         work = _ExecuteWork(graph, spec.key, budget, options, int(seed))
         return self._submit("execute", key, work, priority, description, graph_hash)
 
+    def submit_pareto(self, graph: DFGraph, strategy: str = "checkmate_ilp", *,
+                      low: Optional[float] = None,
+                      high: Optional[float] = None,
+                      resolution: Optional[float] = None,
+                      options: Optional[SolverOptions] = None,
+                      priority: int = 0,
+                      description: Optional[str] = None) -> Job:
+        """Enqueue a bisection Pareto-frontier trace as one job.
+
+        Like a sweep, the whole trace is one queue entry (its probes run
+        through the shared service, warm-seeding each other via the plan
+        cache's neighbor index).  Identical concurrent traces single-flight.
+        """
+        spec = self.service.registry.get(strategy)
+        if not spec.has_budget_knob:
+            raise ValueError(
+                f"strategy {spec.key!r} has no budget knob to trace")
+        if resolution is not None and float(resolution) <= 0:
+            raise ValueError("resolution must be positive")
+        options = options if options is not None else self.service.default_options
+        graph_hash = graph_content_hash(graph)
+        digest = hashlib.sha256()
+        digest.update(graph_hash.encode())
+        digest.update(repr((spec.key,
+                            None if low is None else float(low),
+                            None if high is None else float(high),
+                            None if resolution is None else float(resolution),
+                            options.cache_token(spec.option_map))).encode())
+        key = "pareto/" + digest.hexdigest()
+        description = description or (
+            f"pareto {graph.name} strategy={spec.key}")
+        work = _ParetoWork(graph, spec.key, low, high, resolution, options)
+        return self._submit("pareto", key, work, priority, description, graph_hash)
+
     def _submit(self, kind: str, key: str, work, priority: int,
                 description: str, graph_hash: str) -> Job:
         job = Job(kind, description, priority, key, graph_hash)
@@ -420,6 +468,7 @@ class JobQueue:
             "jobs_by_state": by_state,
             "jobs": counters,
             "solve_latency": self.latency.snapshot(),
+            "pareto_latency": self.pareto_latency.snapshot(),
             "service": self.service.statistics(),
         }
 
@@ -455,7 +504,9 @@ class JobQueue:
                 self._finish_flight(flight, JobState.FAILED,
                                     error=f"{type(exc).__name__}: {exc}")
             else:
-                self.latency.record(time.monotonic() - t_start)
+                window = (self.pareto_latency
+                          if isinstance(flight.work, _ParetoWork) else self.latency)
+                window.record(time.monotonic() - t_start)
                 self._finish_flight(flight, JobState.DONE, result=result)
 
     def _execute(self, flight: _FlightGroup):
@@ -470,6 +521,12 @@ class JobQueue:
             return self.service.execute(work.graph, work.strategy, work.budget,
                                         work.options, seed=work.seed,
                                         should_cancel=abandoned)
+        if isinstance(work, _ParetoWork):
+            return self.service.pareto(work.graph, work.strategy,
+                                       low=work.low, high=work.high,
+                                       resolution=work.resolution,
+                                       options=work.options,
+                                       should_cancel=abandoned)
         return self.service.sweep(work.graph, work.cells, options=work.options,
                                   should_cancel=abandoned)
 

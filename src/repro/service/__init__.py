@@ -31,6 +31,7 @@ from ..solvers.compiled import FormulationCache, get_formulation_cache, set_form
 from .cache import PlanCache, PlanCacheKey
 from .hashing import graph_content_hash
 from .options import SolverOptions
+from .pareto import ParetoFront, ParetoPoint, trace_pareto_frontier
 from .registry import Solver, SolverRegistry, SolverSpec, default_registry
 from .solve import (
     SolveCancelledError,
@@ -51,6 +52,9 @@ __all__ = [
     "PlanCacheKey",
     "graph_content_hash",
     "SolverOptions",
+    "ParetoFront",
+    "ParetoPoint",
+    "trace_pareto_frontier",
     "Solver",
     "SolverRegistry",
     "SolverSpec",

@@ -48,7 +48,7 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
@@ -77,10 +77,18 @@ class PlanCache:
         self.cache_dir = cache_dir
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, ScheduledResult]" = OrderedDict()
+        # Family index for warm-start neighbor lookups: family token (graph
+        # hash + strategy + options, NOT budget) -> {budget: key}.  Lets the
+        # service find "the nearest cached cell at a larger budget" to seed a
+        # cold cell from; memory tier only (a disk entry would need the full
+        # result loaded anyway, at which point it is promoted here).
+        self._family_index: Dict[str, Dict[float, str]] = {}
+        self._key_family: Dict[str, Tuple[str, float]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._disk_hits = 0
+        self._neighbor_hits = 0
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -111,9 +119,20 @@ class PlanCache:
                 self._misses += 1
         return result
 
-    def put(self, key: PlanCacheKey, result: ScheduledResult) -> None:
+    def put(self, key: PlanCacheKey, result: ScheduledResult, *,
+            family: Optional[str] = None, budget: Optional[float] = None) -> None:
+        """Store ``result``; optionally index it for neighbor lookup.
+
+        ``family`` groups cells that differ only in budget (same graph,
+        strategy and options); together with ``budget`` it feeds
+        :meth:`neighbor_above`.
+        """
         with self._lock:
             self._put_locked(key, result)
+            if (family is not None and budget is not None
+                    and key in self._entries):
+                self._family_index.setdefault(family, {})[float(budget)] = key
+                self._key_family[key] = (family, float(budget))
         self._store_to_disk(key, result)
 
     def _put_locked(self, key: PlanCacheKey, result: ScheduledResult) -> None:
@@ -122,13 +141,50 @@ class PlanCache:
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self._evictions += 1
+            self._drop_family_locked(evicted)
+
+    def _drop_family_locked(self, key: str) -> None:
+        entry = self._key_family.pop(key, None)
+        if entry is None:
+            return
+        family, budget = entry
+        budgets = self._family_index.get(family)
+        if budgets is not None:
+            budgets.pop(budget, None)
+            if not budgets:
+                self._family_index.pop(family, None)
+
+    def neighbor_above(self, family: str,
+                       budget: float) -> Optional[Tuple[float, ScheduledResult]]:
+        """Nearest in-memory cell of ``family`` with a strictly larger budget.
+
+        Returns ``(neighbor_budget, result)`` or ``None``.  The caller turns
+        the result into a :class:`~repro.solvers.warm.WarmSeed`; monotonicity
+        only runs downhill, so only larger budgets qualify as seeds.
+        """
+        budget = float(budget)
+        with self._lock:
+            budgets = self._family_index.get(family)
+            if not budgets:
+                return None
+            above = [b for b in budgets if b > budget]
+            if not above:
+                return None
+            nearest = min(above)
+            result = self._entries.get(budgets[nearest])
+            if result is None:
+                return None
+            self._neighbor_hits += 1
+            return nearest, result
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
         with self._lock:
             self._entries.clear()
+            self._family_index.clear()
+            self._key_family.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -153,6 +209,7 @@ class PlanCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "disk_hits": self._disk_hits,
+                "neighbor_hits": self._neighbor_hits,
                 "hit_rate": (self._hits / lookups) if lookups else None,
             }
 
@@ -160,6 +217,7 @@ class PlanCache:
         """Zero the counters (entries themselves are untouched)."""
         with self._lock:
             self._hits = self._misses = self._evictions = self._disk_hits = 0
+            self._neighbor_hits = 0
 
     # ------------------------------------------------------------------ #
     # Disk tier

@@ -62,6 +62,13 @@ class SolverSpec:
     #: the sweep executor precompiles the shared CompiledFormulation for these
     #: so parallel budget cells never queue behind a cold compile.
     uses_formulation: bool = False
+    #: Whether the solver accepts a ``warm_start=`` WarmSeed keyword and can
+    #: exploit a neighboring budget's incumbent.  Only *exact* solvers qualify:
+    #: their optimum is monotone in budget, so a fitting proven seed transfers.
+    #: The LP-rounding approximation does not (its LP is solved at
+    #: ``(1 - allowance) * budget``, coupling the solution to the budget), and
+    #: heuristics have no incumbent to seed.
+    warm_start_capable: bool = False
 
 
 class SolverRegistry:
@@ -132,6 +139,9 @@ _EXTRA_OPTION_MAPS: Dict[str, Mapping[str, str]] = {
 #: share the compiled budget-independent formulation arrays.
 _FORMULATION_STRATEGIES = frozenset({"checkmate_ilp", "checkmate_approx"})
 
+#: Exact solvers that accept ``warm_start=`` (see SolverSpec.warm_start_capable).
+_WARM_CAPABLE_STRATEGIES = frozenset({"checkmate_ilp", "checkmate_bnb"})
+
 
 def default_registry() -> SolverRegistry:
     """Build the canonical registry: Table 1 strategies + the extra solvers.
@@ -159,6 +169,7 @@ def default_registry() -> SolverRegistry:
             in_table1=True,
             option_map=_EXTRA_OPTION_MAPS.get(info.key, {}),
             uses_formulation=info.key in _FORMULATION_STRATEGIES,
+            warm_start_capable=info.key in _WARM_CAPABLE_STRATEGIES,
         ))
     registry.register(SolverSpec(
         key="checkmate_bnb",
@@ -166,6 +177,7 @@ def default_registry() -> SolverRegistry:
         solve=solve_branch_and_bound_schedule,
         option_map={"max_nodes": "max_nodes", "generate_plan": "generate_plan"},
         uses_formulation=True,
+        warm_start_capable=True,
     ))
     registry.register(SolverSpec(
         key="min_r",

@@ -37,6 +37,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult, StrategyNotApplicableError
 from ..solvers.compiled import compiled_formulation_enabled, get_formulation_cache
+from ..solvers.warm import WarmSeed, warm_seed_from_result
 from .cache import PlanCache, PlanCacheKey
 from .hashing import graph_content_hash
 from .options import SolverOptions
@@ -86,12 +87,28 @@ class SolveStats:
     cache; with caching disabled (``cache=None`` or ``use_cache=False``)
     neither counter moves.  ``executions`` counts :meth:`SolveService.execute`
     runs (each also shows up as a solve or a cache hit).
+
+    The warm-start effectiveness counters only move on *fresh* solver
+    invocations (cache hits replay a result, not a solve):
+
+    * ``warm_seeds`` -- solves that were handed a usable warm seed;
+    * ``incumbent_prunes`` -- the seed was proven optimal and reused outright,
+      skipping the solver entirely;
+    * ``bound_skips`` -- the seed was certified by a bound (ILP: LP-relaxation
+      certificate; branch-and-bound: cutoff exhausted the tree) without a full
+      integer solve;
+    * ``infeasible_shortcuts`` -- cells answered by the budget-floor /
+      learned-infeasibility pre-checks without reaching HiGHS.
     """
 
     solver_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     executions: int = 0
+    warm_seeds: int = 0
+    incumbent_prunes: int = 0
+    bound_skips: int = 0
+    infeasible_shortcuts: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, solver_call: bool, cache_hit: Optional[bool]) -> None:
@@ -103,6 +120,23 @@ class SolveStats:
             elif cache_hit is False:
                 self.cache_misses += 1
 
+    def record_warm(self, result: ScheduledResult) -> None:
+        """Update warm/shortcut counters from a *fresh* solve's result markers."""
+        warm = result.extra.get("warm_start") if result.extra else None
+        shortcut = result.extra.get("infeasible_shortcut") if result.extra else None
+        if not warm and not shortcut:
+            return
+        with self._lock:
+            if warm and warm.get("used"):
+                self.warm_seeds += 1
+                kind = warm.get("kind")
+                if kind == "incumbent_prune":
+                    self.incumbent_prunes += 1
+                elif kind == "bound_skip":
+                    self.bound_skips += 1
+            if shortcut:
+                self.infeasible_shortcuts += 1
+
     def record_execution(self) -> None:
         with self._lock:
             self.executions += 1
@@ -111,6 +145,8 @@ class SolveStats:
         with self._lock:
             self.solver_calls = self.cache_hits = self.cache_misses = 0
             self.executions = 0
+            self.warm_seeds = self.incumbent_prunes = 0
+            self.bound_skips = self.infeasible_shortcuts = 0
 
 
 @dataclass(frozen=True)
@@ -183,6 +219,8 @@ class SolveService:
         use_cache: bool = True,
         strict: bool = False,
         should_cancel: Optional[Callable[[], bool]] = None,
+        warm_start: Optional[WarmSeed] = None,
+        auto_warm_start: bool = True,
     ) -> ScheduledResult:
         """Solve one cell, answering from the plan cache when possible.
 
@@ -196,6 +234,16 @@ class SolveService:
         :class:`SolveCancelledError` instead of spending solver time.  A
         cache *hit* still returns normally -- answering from the cache is
         free, so there is nothing worth cancelling.
+
+        ``warm_start`` hands a warm-capable strategy (see
+        ``SolverSpec.warm_start_capable``) a neighboring budget's incumbent to
+        prune with; it is a pure hint -- it never enters the cache key, and by
+        budget monotonicity it cannot change which objective is optimal, only
+        how fast the solver gets there.  Without an explicit seed, a cache
+        *miss* on a warm-capable cell automatically looks for the nearest
+        cached cell of the same (graph, strategy, options) family at a larger
+        budget and seeds from it; ``auto_warm_start=False`` disables that
+        lookup (used by the cold benchmarking path).
         """
         if should_cancel is not None and should_cancel():
             raise SolveCancelledError(f"solve of {strategy!r} cancelled before start")
@@ -203,30 +251,46 @@ class SolveService:
         options = options if options is not None else self.default_options
 
         key: Optional[PlanCacheKey] = None
+        family: Optional[str] = None
+        warm_ok = spec.warm_start_capable and budget is not None
         if use_cache and self.cache is not None:
-            key = PlanCacheKey.build(
-                graph_content_hash(graph), spec.key,
-                budget, options.cache_token(spec.option_map),
-            )
+            graph_hash = graph_content_hash(graph)
+            options_token = options.cache_token(spec.option_map)
+            key = PlanCacheKey.build(graph_hash, spec.key, budget, options_token)
+            if warm_ok:
+                family = "|".join((graph_hash, spec.key, options_token))
             cached = self.cache.get(key, graph)
             if cached is not None:
                 self.stats.record(solver_call=False, cache_hit=True)
                 return cached
+            if warm_ok and warm_start is None and auto_warm_start:
+                neighbor = self.cache.neighbor_above(family, budget)
+                if neighbor is not None:
+                    warm_start = warm_seed_from_result(graph, neighbor[1])
 
         if should_cancel is not None and should_cancel():
             raise SolveCancelledError(f"solve of {strategy!r} cancelled before solver start")
-        result, applicable = self._invoke(spec, graph, budget, options, strict=strict)
+        result, applicable = self._invoke(
+            spec, graph, budget, options, strict=strict,
+            warm_start=warm_start if warm_ok else None,
+        )
         self.stats.record(solver_call=True, cache_hit=False if key is not None else None)
+        # Warm counters move only here, after a fresh invocation: a cache hit
+        # replays a stored result and must not re-count its warm markers.
+        self.stats.record_warm(result)
         # "not-applicable" placeholders (the strategy raised before solving) are
         # never cached: they cost nothing to reproduce, and caching them would
         # make a later strict=True call return a placeholder instead of raising.
         if key is not None and applicable and _cacheable(result):
-            self.cache.put(key, result)
+            self.cache.put(key, result, family=family, budget=budget)
         return result
 
     def _invoke(self, spec: SolverSpec, graph: DFGraph, budget: Optional[float],
-                options: SolverOptions, *, strict: bool):
+                options: SolverOptions, *, strict: bool,
+                warm_start: Optional[WarmSeed] = None):
         kwargs = options.kwargs_for(spec.option_map)
+        if warm_start is not None and spec.warm_start_capable:
+            kwargs["warm_start"] = warm_start
         try:
             return spec.solve(graph, budget, **kwargs), True
         except StrategyNotApplicableError as exc:
@@ -300,6 +364,7 @@ class SolveService:
         use_cache: bool = True,
         strict: bool = False,
         should_cancel: Optional[Callable[[], bool]] = None,
+        warm_start: bool = True,
     ) -> List[ScheduledResult]:
         """Solve many independent cells, returning results in cell order.
 
@@ -310,6 +375,19 @@ class SolveService:
         heuristics, LPs) parallel results are identical to sequential ones;
         MILP cells that stop on a wall-clock time limit may return a
         different incumbent under parallel CPU contention.
+
+        Cell scheduling is deterministic: unique cells of each *warm-capable*
+        strategy (``SolverSpec.warm_start_capable``) are grouped per
+        (strategy, options) family and solved as one sequential
+        **descending-budget chain**, each cell seeded with the previous
+        (larger-budget) cell's tightened incumbent; all other cells are
+        independent singletons.  Chains and singletons fan out over the thread
+        pool in first-appearance order, so plan-cache fills and warm seeding
+        are reproducible run-to-run -- and because a warm seed can only change
+        *how fast* a cell solves, never which objective is optimal, parallel
+        and sequential sweeps still agree cell-for-cell.  ``warm_start=False``
+        restores the fully independent cold scheduling (every cell its own
+        singleton, no seeding, no neighbor lookup).
 
         ``should_cancel`` is forwarded to every cell solve; once it returns
         true the next cell to start raises :class:`SolveCancelledError`,
@@ -355,14 +433,83 @@ class SolveService:
                 index_of[cell] = len(unique)
                 unique.append(cell)
 
-        def solve_cell(cell: SweepCell) -> ScheduledResult:
-            return self.solve(graph, cell.strategy, cell.budget, cell.options,
-                              use_cache=use_cache, strict=strict,
-                              should_cancel=should_cancel)
+        # Partition the unique cells into work units: descending-budget chains
+        # for warm-capable strategies (grouped per (strategy, options) family,
+        # in first-appearance order), singletons for everything else.
+        chains: List[List[int]] = []
+        if warm_start:
+            family_of: dict = {}
+            for idx, cell in enumerate(unique):
+                spec = self.registry.get(cell.strategy)
+                if spec.warm_start_capable and cell.budget is not None:
+                    fam = (cell.strategy, cell.options)
+                    if fam not in family_of:
+                        family_of[fam] = []
+                        chains.append(family_of[fam])
+                    family_of[fam].append(idx)
+                else:
+                    chains.append([idx])
+            for unit in chains:
+                unit.sort(key=lambda i: -float(unique[i].budget)
+                          if unique[i].budget is not None else 0.0)
+        else:
+            chains = [[idx] for idx in range(len(unique))]
 
-        solved = parallel_map(solve_cell, unique, max_workers=max_workers,
-                              parallel=parallel, thread_name_prefix="repro-sweep")
+        def solve_unit(unit: List[int]) -> List[Tuple[int, ScheduledResult]]:
+            seed: Optional[WarmSeed] = None
+            out: List[Tuple[int, ScheduledResult]] = []
+            for idx in unit:
+                cell = unique[idx]
+                result = self.solve(graph, cell.strategy, cell.budget,
+                                    cell.options, use_cache=use_cache,
+                                    strict=strict, should_cancel=should_cancel,
+                                    warm_start=seed, auto_warm_start=warm_start)
+                out.append((idx, result))
+                if len(unit) > 1 and result.feasible and result.matrices is not None:
+                    seed = warm_seed_from_result(graph, result) or seed
+            return out
+
+        solved: List[Optional[ScheduledResult]] = [None] * len(unique)
+        for batch in parallel_map(solve_unit, chains, max_workers=max_workers,
+                                  parallel=parallel,
+                                  thread_name_prefix="repro-sweep"):
+            for idx, result in batch:
+                solved[idx] = result
         return [solved[index_of[cell]] for cell in effective]
+
+    # ------------------------------------------------------------------ #
+    # Pareto frontier
+    # ------------------------------------------------------------------ #
+    def pareto(
+        self,
+        graph: DFGraph,
+        strategy: str = "checkmate_ilp",
+        *,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+        resolution: Optional[float] = None,
+        options: Optional[SolverOptions] = None,
+        use_cache: bool = True,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ):
+        """Trace the memory-vs-recompute frontier by warm-seeded bisection.
+
+        Recursively bisects the budget axis between ``low`` (default: the
+        arithmetic minimum-feasible-budget floor) and ``high`` (default: the
+        checkpoint-all peak), stopping early on segments whose endpoint costs
+        already agree (a flat step of the frontier staircase) and on segments
+        narrower than ``resolution``.  Every probe is an ordinary
+        :meth:`solve` -- cached, and warm-seeded from the nearest
+        already-solved larger budget -- so the frontier costs far fewer solver
+        calls than the equivalent dense grid.  Returns a
+        :class:`~repro.service.pareto.ParetoFront`.
+        """
+        from .pareto import trace_pareto_frontier
+
+        return trace_pareto_frontier(
+            self, graph, strategy, low=low, high=high, resolution=resolution,
+            options=options, use_cache=use_cache, should_cancel=should_cancel,
+        )
 
     # ------------------------------------------------------------------ #
     # Convenience
@@ -387,6 +534,10 @@ class SolveService:
                 "cache_hits": self.stats.cache_hits,
                 "cache_misses": self.stats.cache_misses,
                 "executions": self.stats.executions,
+                "warm_seeds": self.stats.warm_seeds,
+                "incumbent_prunes": self.stats.incumbent_prunes,
+                "bound_skips": self.stats.bound_skips,
+                "infeasible_shortcuts": self.stats.infeasible_shortcuts,
             }
         snapshot["registered_solvers"] = len(self.registry)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None

@@ -28,6 +28,13 @@ from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulati
 from .ilp import ILP_STRATEGY_NAME, solve_ilp_rematerialization
 from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
 from .min_r import checkpoint_set_to_schedule, solve_min_r, solve_min_r_schedule
+from .warm import (
+    WarmSeed,
+    budget_floor_margin,
+    min_feasible_budget_floor,
+    tighten_schedule,
+    warm_seed_from_result,
+)
 
 __all__ = [
     "APPROX_STRATEGY_NAME",
@@ -58,4 +65,9 @@ __all__ = [
     "solve_lp_relaxation",
     "checkpoint_set_to_schedule",
     "solve_min_r",
+    "WarmSeed",
+    "budget_floor_margin",
+    "min_feasible_budget_floor",
+    "tighten_schedule",
+    "warm_seed_from_result",
 ]

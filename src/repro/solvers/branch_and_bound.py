@@ -20,7 +20,7 @@ from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
 from ..utils.timer import Timer
 from .common import build_scheduled_result
-from .compiled import formulation_and_arrays
+from .compiled import CompiledFormulation, formulation_and_arrays
 from .formulation import FormulationArrays, InfeasibleBudgetError
 
 __all__ = [
@@ -57,6 +57,7 @@ def solve_branch_and_bound(
     *,
     max_nodes: int = 2000,
     tolerance: float = 1e-6,
+    cutoff: Optional[float] = None,
 ) -> BranchAndBoundResult:
     """Solve a (small) MILP described by :class:`FormulationArrays` exactly.
 
@@ -68,10 +69,18 @@ def solve_branch_and_bound(
     tolerance:
         Integrality tolerance for deciding whether a relaxation value is
         fractional.
+    cutoff:
+        Objective value (same units as ``arrays.c @ x``) of an external
+        incumbent, e.g. the neighboring budget's warm seed.  The search starts
+        with this as its pruning bound, so whole subtrees that cannot beat it
+        are discarded without branching.  If the search exhausts without
+        finding anything strictly better, the result has ``x=None`` and status
+        ``"cutoff-optimal"``: the caller's incumbent -- known feasible by the
+        caller -- is optimal within ``tolerance``.
     """
     integer_vars = np.flatnonzero(arrays.integrality > 0)
     best_x: Optional[np.ndarray] = None
-    best_obj = np.inf
+    best_obj = float(cutoff) if cutoff is not None else np.inf
     nodes_explored = 0
 
     # Each stack entry is a (lb, ub) pair of variable bounds.
@@ -105,14 +114,20 @@ def solve_branch_and_bound(
         stack.append((lb_ceil, ub_ceil))
 
     proven = len(stack) == 0
-    status = "optimal" if (best_x is not None and proven) else (
-        "node-limit" if best_x is not None else "infeasible-or-node-limit"
-    )
+    if best_x is not None:
+        status = "optimal" if proven else "node-limit"
+    elif proven and cutoff is not None:
+        # Exhausted the tree without beating the external incumbent: nothing
+        # better than `cutoff` exists (the incumbent itself lives outside this
+        # search, so x stays None and the caller reuses its seed).
+        status = "cutoff-optimal"
+    else:
+        status = "infeasible-or-node-limit"
     return BranchAndBoundResult(
         x=best_x,
         objective=best_obj if best_x is not None else np.inf,
         nodes_explored=nodes_explored,
-        proven_optimal=proven and best_x is not None,
+        proven_optimal=proven and (best_x is not None or cutoff is not None),
         status=status,
     )
 
@@ -124,6 +139,7 @@ def solve_branch_and_bound_schedule(
     max_nodes: int = 2000,
     generate_plan: bool = True,
     strategy_name: str = "checkmate-bnb",
+    warm_start: Optional["WarmSeed"] = None,
 ) -> ScheduledResult:
     """Uniform-signature driver: build the MILP for a graph and solve it here.
 
@@ -132,7 +148,15 @@ def solve_branch_and_bound_schedule(
     strategy follows, so the reference solver can be registered with the solve
     service and cross-checked against HiGHS through the ordinary sweep path.
     Only sensible for tiny graphs (tens of nodes).
+
+    ``warm_start`` (a :class:`~repro.solvers.warm.WarmSeed`, typically the
+    neighboring larger budget's tightened incumbent) short-circuits the search:
+    a proven-optimal seed that fits the budget is reused outright, and an
+    unproven one primes the branch-and-bound pruning bound (``cutoff``) so only
+    strictly better schedules are ever accepted.
     """
+    from .warm import WarmSeed, budget_floor_margin  # noqa: F401 (typing)
+
     try:
         formulation, arrays = formulation_and_arrays(graph, budget, frontier_advancing=True)
     except InfeasibleBudgetError as exc:
@@ -141,18 +165,68 @@ def solve_branch_and_bound_schedule(
             solver_status=f"infeasible-budget: {exc}",
         )
 
+    compiled = formulation if isinstance(formulation, CompiledFormulation) else None
+    if compiled is not None:
+        if compiled.known_infeasible_budget(budget, integral=True):
+            return build_scheduled_result(
+                strategy_name, graph, None, budget=int(budget), feasible=False,
+                solver_status="infeasible-memo",
+                extra={"infeasible_shortcut": "memo"},
+            )
+        floor = compiled.budget_floor()
+        if budget < floor - budget_floor_margin(graph):
+            compiled.note_infeasible_budget(budget, integral=True)
+            return build_scheduled_result(
+                strategy_name, graph, None, budget=int(budget), feasible=False,
+                solver_status="infeasible-below-floor",
+                extra={"infeasible_shortcut": "floor", "budget_floor": floor},
+            )
+
+    seed = warm_start if (warm_start is not None and warm_start.fits(budget)) else None
+    if seed is not None and seed.proven_optimal:
+        # Monotonicity: optimal at the larger source budget and it fits here,
+        # so it is optimal here -- no search needed.
+        return build_scheduled_result(
+            strategy_name, graph, seed.matrices, budget=int(budget), feasible=True,
+            solver_status="warm-reused-optimal", generate_plan=generate_plan,
+            extra={"nodes_explored": 0, "proven_optimal": True,
+                   "warm_start": {"used": True, "kind": "incumbent_prune",
+                                  "source_budget": seed.source_budget}},
+        )
+
+    cost_scale = max(float(graph.cost_vector.max()), 1e-12)
+    cutoff = seed.objective / cost_scale if seed is not None else None
     with Timer() as timer:
-        res = solve_branch_and_bound(arrays, max_nodes=max_nodes)
+        res = solve_branch_and_bound(arrays, max_nodes=max_nodes, cutoff=cutoff)
+
+    if res.x is None and seed is not None:
+        # The seed is feasible here, so the MILP is not infeasible: either the
+        # search proved nothing beats the seed (cutoff-optimal) or it hit the
+        # node limit without improving on it.  Either way the seed stands.
+        status = ("warm-cutoff-optimal" if res.status == "cutoff-optimal"
+                  else "node-limit-warm-incumbent")
+        return build_scheduled_result(
+            strategy_name, graph, seed.matrices, budget=int(budget), feasible=True,
+            solve_time_s=timer.elapsed, solver_status=status,
+            generate_plan=generate_plan,
+            extra={"nodes_explored": res.nodes_explored,
+                   "proven_optimal": res.proven_optimal,
+                   "warm_start": {"used": True, "kind": "bound_skip",
+                                  "source_budget": seed.source_budget}},
+        )
     if res.x is None:
         return build_scheduled_result(
             strategy_name, graph, None, budget=int(budget), feasible=False,
             solve_time_s=timer.elapsed, solver_status=res.status,
         )
     matrices = formulation.decode_matrices(np.asarray(res.x))
+    extra = {"nodes_explored": res.nodes_explored,
+             "proven_optimal": res.proven_optimal}
+    if seed is not None:
+        extra["warm_start"] = {"used": True, "kind": "seeded",
+                               "source_budget": seed.source_budget}
     return build_scheduled_result(
         strategy_name, graph, matrices, budget=int(budget), feasible=True,
         solve_time_s=timer.elapsed, solver_status=res.status,
-        generate_plan=generate_plan,
-        extra={"nodes_explored": res.nodes_explored,
-               "proven_optimal": res.proven_optimal},
+        generate_plan=generate_plan, extra=extra,
     )

@@ -133,6 +133,18 @@ class CompiledFormulation:
 
         self._build_layout()
         self._build_arrays()
+
+        # Learned infeasibility frontier (per integrality mode): budgets are
+        # totally ordered, so one proven-infeasible verdict at budget b rules
+        # out every b' <= b.  LP infeasibility additionally implies ILP
+        # infeasibility (the relaxation only enlarges the feasible set).
+        # Shared process-wide through the FormulationCache, the memo lets a
+        # sweep/bisection prove a whole tail of budgets infeasible with at
+        # most one solver call.
+        self._infeasible_lock = threading.Lock()
+        self._max_infeasible = {"lp": float("-inf"), "ilp": float("-inf")}
+        self._budget_floor: Optional[float] = None
+
         self.compile_time_s = time.perf_counter() - t_start
         #: Pass-with-statistics summary (sizes + compile time), one dict.
         self.stats: Dict[str, object] = {
@@ -478,6 +490,42 @@ class CompiledFormulation:
             constraint_lb=self._con_lb,
             constraint_ub=self._con_ub,
         )
+
+    # ------------------------------------------------------------------ #
+    # Infeasibility shortcuts (warm sweeps / Pareto bisection)
+    # ------------------------------------------------------------------ #
+    def budget_floor(self) -> float:
+        """Cached arithmetic floor on integral-feasible budgets (frontier only).
+
+        See :func:`~repro.solvers.warm.min_feasible_budget_floor`; only
+        meaningful for the frontier-advancing variant (and never applied to
+        the LP relaxation).
+        """
+        if self._budget_floor is None:
+            from .warm import min_feasible_budget_floor
+
+            self._budget_floor = min_feasible_budget_floor(self.graph)
+        return self._budget_floor
+
+    def note_infeasible_budget(self, budget: float, *, integral: bool) -> None:
+        """Record a solver-proven infeasible budget in the monotone memo."""
+        key = "ilp" if integral else "lp"
+        budget = float(budget)
+        with self._infeasible_lock:
+            if budget > self._max_infeasible[key]:
+                self._max_infeasible[key] = budget
+
+    def known_infeasible_budget(self, budget: float, *, integral: bool) -> bool:
+        """Whether the memo already proves this budget infeasible.
+
+        An LP-infeasible budget bound applies to both modes; an ILP bound only
+        to integral solves (the relaxation may still be feasible below it).
+        """
+        budget = float(budget)
+        with self._infeasible_lock:
+            if budget <= self._max_infeasible["lp"]:
+                return True
+            return integral and budget <= self._max_infeasible["ilp"]
 
     # ------------------------------------------------------------------ #
     # Vectorized decoding

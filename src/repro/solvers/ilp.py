@@ -21,7 +21,7 @@ from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
 from ..utils.timer import Timer
 from .common import build_scheduled_result
-from .compiled import formulation_and_arrays
+from .compiled import CompiledFormulation, formulation_and_arrays
 from .formulation import InfeasibleBudgetError
 
 __all__ = ["solve_ilp_rematerialization", "ILP_STRATEGY_NAME"]
@@ -45,6 +45,7 @@ def solve_ilp_rematerialization(
     num_stages: Optional[int] = None,
     generate_plan: bool = True,
     strategy_name: str = ILP_STRATEGY_NAME,
+    warm_start: Optional["WarmSeed"] = None,
 ) -> ScheduledResult:
     """Solve the rematerialization MILP for a graph under a memory budget.
 
@@ -65,6 +66,15 @@ def solve_ilp_rematerialization(
         reproduces the much slower unpartitioned baseline of Appendix A.
     num_stages:
         Stage count for the unpartitioned variant (defaults to ``graph.size``).
+    warm_start:
+        A :class:`~repro.solvers.warm.WarmSeed` from a neighboring (larger)
+        budget.  SciPy's ``milp`` cannot accept an incumbent, so the seed is
+        exploited around the solver instead: a proven-optimal seed that fits is
+        reused outright (``warm-reused-optimal``); an unproven one is certified
+        against the cell's LP-relaxation lower bound and, when its objective
+        already matches within ``mip_gap``, the integer solve is skipped
+        (``warm-bound-skip``); otherwise the MILP runs cold and the seed only
+        backstops a time-limit miss.
 
     Returns
     -------
@@ -83,6 +93,63 @@ def solve_ilp_rematerialization(
             strategy_name, graph, None, budget=int(budget), feasible=False,
             solver_status=f"infeasible-budget: {exc}",
         )
+
+    compiled = formulation if isinstance(formulation, CompiledFormulation) else None
+    if compiled is not None and frontier_advancing:
+        # Learned-infeasibility memo and the arithmetic budget floor: both are
+        # monotone in budget, so cells at or below a known-infeasible budget
+        # (or meaningfully below the floor) never need to reach HiGHS.
+        if compiled.known_infeasible_budget(budget, integral=True):
+            return build_scheduled_result(
+                strategy_name, graph, None, budget=int(budget), feasible=False,
+                solver_status="infeasible-memo",
+                extra={"infeasible_shortcut": "memo"},
+            )
+        from .warm import budget_floor_margin
+
+        floor = compiled.budget_floor()
+        if budget < floor - budget_floor_margin(graph):
+            compiled.note_infeasible_budget(budget, integral=True)
+            return build_scheduled_result(
+                strategy_name, graph, None, budget=int(budget), feasible=False,
+                solver_status="infeasible-below-floor",
+                extra={"infeasible_shortcut": "floor", "budget_floor": floor},
+            )
+
+    seed = warm_start if (warm_start is not None and warm_start.fits(budget)) else None
+    if seed is not None and seed.proven_optimal:
+        # Monotonicity: the seed is (gap-)optimal at its larger source budget
+        # and fits this one, so it is (gap-)optimal here too.  Zero HiGHS work.
+        return build_scheduled_result(
+            strategy_name, graph, seed.matrices, budget=int(budget), feasible=True,
+            solver_status="warm-reused-optimal", generate_plan=generate_plan,
+            frontier_advancing=frontier_advancing,
+            extra={"formulation": formulation.describe(), "proven_optimal": True,
+                   "warm_start": {"used": True, "kind": "incumbent_prune",
+                                  "source_budget": seed.source_budget}},
+        )
+    if seed is not None:
+        # LP-certificate fast exit: the relaxation's objective is a valid lower
+        # bound on the integer optimum.  If the unproven seed already matches
+        # it within the MIP gap, it is gap-optimal -- skip the integer solve.
+        from .lp_relaxation import solve_lp_relaxation
+
+        lp = solve_lp_relaxation(
+            graph, budget, frontier_advancing=frontier_advancing,
+            num_stages=num_stages, time_limit_s=time_limit_s,
+        )
+        if lp.feasible and seed.objective <= lp.objective * (1.0 + mip_gap):
+            return build_scheduled_result(
+                strategy_name, graph, seed.matrices, budget=int(budget),
+                feasible=True, solve_time_s=lp.solve_time_s,
+                solver_status="warm-bound-skip", generate_plan=generate_plan,
+                frontier_advancing=frontier_advancing,
+                extra={"formulation": formulation.describe(),
+                       "objective_lower_bound": lp.objective,
+                       "proven_optimal": True,
+                       "warm_start": {"used": True, "kind": "bound_skip",
+                                      "source_budget": seed.source_budget}},
+            )
 
     constraints = LinearConstraint(arrays.A, arrays.constraint_lb, arrays.constraint_ub)
     bounds = Bounds(arrays.lb, arrays.ub)
@@ -109,6 +176,23 @@ def solve_ilp_rematerialization(
     status = status_map.get(res.status, f"solver-status-{res.status}")
 
     if res.x is None:
+        if status == "infeasible" and compiled is not None and frontier_advancing:
+            # Feed the learned-infeasibility memo: every budget at or below
+            # this one is infeasible too and will short-circuit from now on.
+            compiled.note_infeasible_budget(budget, integral=True)
+        if seed is not None:
+            # The seed is feasible at this budget, so "no incumbent within the
+            # time limit" still has a valid schedule to fall back on.
+            return build_scheduled_result(
+                strategy_name, graph, seed.matrices, budget=int(budget),
+                feasible=True, solve_time_s=timer.elapsed,
+                solver_status=f"{status}-warm-incumbent",
+                generate_plan=generate_plan,
+                frontier_advancing=frontier_advancing,
+                extra={"formulation": formulation.describe(),
+                       "warm_start": {"used": True, "kind": "seeded",
+                                      "source_budget": seed.source_budget}},
+            )
         return build_scheduled_result(
             strategy_name, graph, None, budget=int(budget), feasible=False,
             solve_time_s=timer.elapsed, solver_status=status,
@@ -122,6 +206,19 @@ def solve_ilp_rematerialization(
         "mip_gap": getattr(res, "mip_gap", None),
         "mip_node_count": getattr(res, "mip_node_count", None),
     }
+    if seed is not None:
+        extra["warm_start"] = {"used": True, "kind": "seeded",
+                               "source_budget": seed.source_budget}
+        if formulation.objective_value(np.asarray(res.x)) > seed.objective:
+            # HiGHS stopped (time limit / gap) on an incumbent worse than the
+            # seed we already hold; keep the better schedule.
+            return build_scheduled_result(
+                strategy_name, graph, seed.matrices, budget=int(budget),
+                feasible=True, solve_time_s=timer.elapsed,
+                solver_status=f"{status}-warm-incumbent",
+                generate_plan=generate_plan,
+                frontier_advancing=frontier_advancing, extra=extra,
+            )
     return build_scheduled_result(
         strategy_name,
         graph,

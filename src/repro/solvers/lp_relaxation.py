@@ -16,7 +16,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.dfgraph import DFGraph
 from ..utils.timer import Timer
-from .compiled import formulation_and_arrays
+from .compiled import CompiledFormulation, formulation_and_arrays
 from .formulation import InfeasibleBudgetError
 
 __all__ = ["LPRelaxationResult", "solve_lp_relaxation"]
@@ -76,6 +76,19 @@ def solve_lp_relaxation(
             status=f"infeasible-budget: {exc}",
         )
 
+    compiled = formulation if isinstance(formulation, CompiledFormulation) else None
+    if compiled is not None and compiled.known_infeasible_budget(budget, integral=False):
+        # Learned-infeasibility memo: a smaller-or-equal budget already proved
+        # LP-infeasible, so this one is too.  Note the arithmetic budget floor
+        # of the *integral* problem does NOT apply here -- fractional FREE lets
+        # the relaxation shed parent memory mid-stage, so only budgets HiGHS
+        # itself rejected are safe to short-circuit.
+        return LPRelaxationResult(
+            graph_name=graph.name, budget=budget, R_fractional=None, S_fractional=None,
+            objective=float("inf"), feasible=False, solve_time_s=0.0,
+            status="infeasible-memo",
+        )
+
     constraints = LinearConstraint(arrays.A, arrays.constraint_lb, arrays.constraint_ub)
     bounds = Bounds(arrays.lb, arrays.ub)
     relaxed_integrality = np.zeros_like(arrays.integrality)
@@ -90,10 +103,15 @@ def solve_lp_relaxation(
         )
 
     if res.x is None:
+        proven_infeasible = res.status == 2
+        if proven_infeasible and compiled is not None:
+            # LP-infeasible implies ILP-infeasible; record under both keys so
+            # the integral solvers short-circuit as well.
+            compiled.note_infeasible_budget(budget, integral=False)
         return LPRelaxationResult(
             graph_name=graph.name, budget=budget, R_fractional=None, S_fractional=None,
             objective=float("inf"), feasible=False, solve_time_s=timer.elapsed,
-            status="infeasible" if res.status == 2 else f"status-{res.status}",
+            status="infeasible" if proven_infeasible else f"status-{res.status}",
         )
 
     x = np.asarray(res.x)

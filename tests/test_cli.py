@@ -106,6 +106,31 @@ class TestCliOffline:
         assert "Traceback" not in proc.stderr
 
 
+class TestCliPareto:
+    def test_pareto_local_table(self):
+        proc = run_cli("pareto", "--preset", "linear_cnn")
+        assert proc.returncode == 0, proc.stderr
+        assert "pareto frontier of" in proc.stdout
+        assert "solver calls" in proc.stdout
+        assert "knee" in proc.stdout  # table header
+
+    def test_pareto_local_json(self):
+        import json as json_mod
+        proc = run_cli("pareto", "--preset", "linear_cnn", "--json")
+        assert proc.returncode == 0, proc.stderr
+        front = json_mod.loads(proc.stdout)
+        assert front["strategy"] == "checkmate_ilp"
+        assert front["num_points"] == len(front["points"]) >= 2
+        budgets = [p["budget"] for p in front["points"]]
+        assert budgets == sorted(budgets)
+
+    def test_pareto_rejects_unknown_option(self):
+        proc = run_cli("pareto", "--preset", "linear_cnn",
+                       "--option", "time_limit=60")
+        assert proc.returncode == 2
+        assert "unknown solver options" in proc.stderr
+
+
 class TestCliAgainstServer:
     @pytest.fixture()
     def server(self):
@@ -161,6 +186,13 @@ class TestCliAgainstServer:
                        "--preset", "resnet_tiny", "--strategy", "nope")
         assert proc.returncode == 1
         assert "unknown solver" in proc.stderr
+
+    def test_pareto_against_server(self, server):
+        proc = run_cli("pareto", "--server", server.url,
+                       "--preset", "linear_cnn")
+        assert proc.returncode == 0, proc.stderr
+        assert "pareto job" in proc.stdout
+        assert "pareto frontier of" in proc.stdout
 
     def test_execute_against_server(self, server):
         import json as json_mod

@@ -452,6 +452,68 @@ class TestHttpApi:
             client.jobs("levitating")
 
 
+class TestParetoApi:
+    """The bisection frontier endpoint plus the warm-start observability it
+    feeds: ``/v1/pareto`` round trip, and the ``/v1/metrics`` warm counters
+    moving when a descending-budget sweep actually reuses incumbents."""
+
+    def test_pareto_job_round_trip(self, client, chain5_train):
+        handle = client.submit_pareto(graph=chain5_train,
+                                      strategy="checkmate_ilp")
+        status = client.wait(handle["job_id"], timeout=60)
+        assert status["state"] == "done"
+        front = client.result(handle["job_id"])["front"]
+        assert front["strategy"] == "checkmate_ilp"
+        assert front["num_points"] == len(front["points"]) >= 2
+        assert front["solver_calls"] >= 1
+        budgets = [p["budget"] for p in front["points"]]
+        assert budgets == sorted(budgets)
+        metrics = client.metrics()
+        assert metrics["pareto_latency"]["count"] == 1
+        # Whole-frontier traces must not pollute the per-solve quantiles.
+        assert metrics["solve_latency"]["count"] == 0
+
+    def test_pareto_deduplicates_identical_submissions(self, client, chain5_train):
+        first = client.submit_pareto(graph=chain5_train, strategy="checkmate_ilp")
+        second = client.submit_pareto(graph=chain5_train, strategy="checkmate_ilp")
+        client.wait(first["job_id"], timeout=60)
+        client.wait(second["job_id"], timeout=60)
+        assert (client.result(first["job_id"])["front"]
+                == client.result(second["job_id"])["front"])
+
+    def test_pareto_validates_payload(self, client, chain5_train):
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_pareto(graph=chain5_train, strategy="levitating")
+        assert err.value.status in (400, 404)
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_pareto(graph=chain5_train, strategy="checkmate_ilp",
+                                 resolution=-4.0)
+        assert err.value.status == 400
+        with pytest.raises(ServeAPIError) as err:
+            client.submit_pareto(graph=chain5_train, strategy="min_r")
+        assert err.value.status == 400  # no budget knob to trace
+
+    def test_warm_counters_move_in_metrics(self, client, chain5_train):
+        ample = int(chain5_train.constant_overhead
+                    + chain5_train.total_activation_memory() * 2 + 10)
+        handle = client.submit_sweep(
+            graph=chain5_train,
+            cells=[("checkmate_ilp", ample + 64), ("checkmate_ilp", ample)])
+        assert client.wait(handle["job_id"], timeout=60)["state"] == "done"
+        service = client.metrics()["service"]
+        for key in ("warm_seeds", "incumbent_prunes", "bound_skips",
+                    "infeasible_shortcuts"):
+            assert key in service
+        assert service["warm_seeds"] >= 1
+        assert service["incumbent_prunes"] + service["bound_skips"] >= 1
+
+    def test_strategies_advertise_warm_capability(self, client):
+        by_key = {e["key"]: e for e in client.strategies()}
+        assert by_key["checkmate_ilp"]["warm_start_capable"] is True
+        assert by_key["checkmate_bnb"]["warm_start_capable"] is True
+        assert by_key["checkpoint_all"]["warm_start_capable"] is False
+
+
 class TestSingleFlightE2E:
     """Acceptance: 8 concurrent duplicate U-Net submissions -> 1 solver call."""
 
