@@ -14,6 +14,9 @@ without writing Python:
                     --budget-fraction 0.6          # solve, run, cross-check
     $ repro pareto --preset resnet_tiny            # trace the memory/compute
                                                    # frontier by bisection
+    $ repro trace vgg16 --budget-fraction 0.5 \\
+                  --chrome-trace /tmp/t.json       # span waterfall + Chrome
+                                                   # trace of one solve
     $ repro status                                 # server health + metrics
     $ repro status <job-id>                        # one job's lifecycle
 
@@ -145,16 +148,21 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
 # Subcommands
 # --------------------------------------------------------------------------- #
 def cmd_serve(args) -> int:
+    from .obs import configure_logging
     from .server.http import SolveServer
     from .service import PlanCache, SolveService
 
+    configure_logging()
     cache = PlanCache(max_entries=args.cache_entries, cache_dir=args.cache_dir)
     service = SolveService(cache=cache)
     server = SolveServer(args.host, args.port, service=service,
-                         num_workers=args.workers, verbose=args.verbose)
+                         num_workers=args.workers, verbose=args.verbose,
+                         tracing=not args.no_trace)
     disk = f", disk cache at {args.cache_dir}" if args.cache_dir else ""
+    trace = "off" if args.no_trace else "on"
     print(f"repro solve server listening on {server.url} "
-          f"({server.queue.num_workers} workers{disk}); Ctrl-C to stop",
+          f"({server.queue.num_workers} workers{disk}, tracing {trace}); "
+          f"Ctrl-C to stop",
           flush=True)
     server.serve_forever()
     return 0
@@ -377,8 +385,15 @@ def cmd_status(args) -> int:
     if args.job_id:
         status = client.job(args.job_id)
         for key in ("id", "kind", "description", "state", "deduplicated",
-                    "error", "wait_s", "run_s"):
+                    "error", "wait_s", "run_s", "trace_id"):
             print(f"{key:>14}: {status.get(key)}")
+        phases = status.get("phases")
+        if phases:
+            widest = max(len(name) for name in phases)
+            print(f"{'phases':>14}:")
+            for name, seconds in sorted(phases.items(),
+                                        key=lambda kv: -kv[1]):
+                print(f"{'':>16}{name:<{widest}}  {seconds:.4f}s")
         return 0 if status["state"] in ("queued", "running", "done") else 1
     health = client.healthz()
     metrics = client.metrics()
@@ -395,11 +410,93 @@ def cmd_status(args) -> int:
           f"hits={cache.get('hits')} misses={cache.get('misses')} "
           f"evictions={cache.get('evictions')} "
           f"hit_rate={f'{hit_rate:.1%}' if hit_rate is not None else 'n/a'}")
-    p50, p95 = latency.get("p50_s"), latency.get("p95_s")
+    p50, p95, p99 = (latency.get("p50_s"), latency.get("p95_s"),
+                     latency.get("p99_s"))
     print(f"solve latency: count={latency['count']} "
           f"p50={f'{p50:.3f}s' if p50 is not None else 'n/a'} "
-          f"p95={f'{p95:.3f}s' if p95 is not None else 'n/a'}")
+          f"p95={f'{p95:.3f}s' if p95 is not None else 'n/a'} "
+          f"p99={f'{p99:.3f}s' if p99 is not None else 'n/a'}")
     return 0
+
+
+def _emit_trace(args, spans, *, wall_s: Optional[float] = None,
+                header: Optional[str] = None) -> int:
+    from .obs import chrome_trace, format_waterfall, span_tree
+    if not spans:
+        print("error: no spans recorded (tracing disabled?)", file=sys.stderr)
+        return 1
+    if header:
+        print(header)
+    if args.json:
+        print(json.dumps(span_tree(spans), indent=2, sort_keys=True))
+    else:
+        print(format_waterfall(spans))
+    if wall_s is not None:
+        covered = sum(s.duration_s for s in spans if s.parent_id is None)
+        print(f"span coverage: {min(covered / wall_s, 1.0):.1%} "
+              f"of {wall_s * 1e3:.2f} ms solve wall time")
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(spans), fh, indent=2)
+        print(f"chrome trace ({len(spans)} spans) written to "
+              f"{args.chrome_trace}; load in chrome://tracing or "
+              f"https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.server:
+        # Remote mode: the target is a settled job id on a traced daemon.
+        from .obs import spans_from_tree
+        payload = _client(args).trace(args.target)
+        spans = spans_from_tree(payload["tree"], payload["trace_id"])
+        return _emit_trace(
+            args, spans,
+            header=f"job {payload['job_id']} ({payload['state']}), "
+                   f"trace {payload['trace_id']}")
+
+    # Local mode: the target is a preset; run one traced solve and render
+    # where the time went.
+    if args.budget is not None and args.budget_fraction is not None:
+        print("error: pass at most one of --budget or --budget-fraction",
+              file=sys.stderr)
+        return 2
+    option_pairs = _parse_option_pairs(args.option)
+    from .service import SolverOptions, get_default_service
+    if option_pairs:
+        unknown = set(option_pairs) - set(SolverOptions.__dataclass_fields__)
+        if unknown:
+            print(f"error: unknown solver options {sorted(unknown)}; known: "
+                  f"{sorted(SolverOptions.__dataclass_fields__)}", file=sys.stderr)
+            return 2
+
+    from .cost_model import COST_MODELS
+    from .experiments.presets import build_training_graph
+    graph = build_training_graph(
+        args.target, scale=args.scale, batch_size=args.batch_size,
+        cost_model=COST_MODELS[args.cost_model or "flop"]())
+    budget = args.budget
+    if args.budget_fraction is not None:
+        budget = float(int(graph.constant_overhead
+                           + args.budget_fraction * graph.total_activation_memory()))
+
+    import time
+    from .obs import get_tracer, install_phase_histograms
+    tracer = get_tracer()
+    install_phase_histograms()
+    tracer.enable()
+    options = SolverOptions(**option_pairs) if option_pairs else None
+    start = time.perf_counter()
+    result = get_default_service().solve(graph, args.strategy, budget, options)
+    wall_s = time.perf_counter() - start
+
+    trace_ids = tracer.store.trace_ids()
+    spans = tracer.store.spans(trace_ids[-1]) if trace_ids else []
+    header = (f"{graph.name} / {args.strategy} @ {_format_bytes(budget)}: "
+              f"{'feasible' if result.feasible else 'infeasible'}"
+              + (f", cost {result.compute_cost:.4g}" if result.feasible else "")
+              + f" ({result.solve_time_s:.3f}s solve)")
+    return _emit_trace(args, spans, wall_s=wall_s, header=header)
 
 
 def cmd_strategies(args) -> int:
@@ -445,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-entries", type=int, default=512,
                    help="in-memory plan cache size (0 disables)")
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable span tracing (on by default for the daemon; "
+                        "feeds /v1/trace/{id} and per-phase histograms)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("submit", help="submit one solve and wait for the result")
@@ -528,6 +628,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run through a 'repro serve' daemon instead of locally")
     p.add_argument("--http-timeout", type=float, default=30.0)
     p.set_defaults(fn=cmd_pareto)
+
+    p = sub.add_parser("trace",
+                       help="run one traced solve and show its span waterfall, "
+                            "or fetch a job's trace from a daemon")
+    p.add_argument("target",
+                   help="preset key to solve locally, or (with --server) the "
+                        "job id whose trace to fetch")
+    p.add_argument("--strategy", default="checkmate_ilp",
+                   help="strategy for the local solve (default: checkmate_ilp)")
+    p.add_argument("--budget", type=parse_budget, default=None,
+                   help="memory budget (bytes or 512MiB/2GiB/...; default none)")
+    p.add_argument("--budget-fraction", type=float, default=None, metavar="F",
+                   help="budget as overhead + F * total activation memory "
+                        "(alternative to --budget)")
+    p.add_argument("--scale", choices=("ci", "paper"), default="ci",
+                   help="preset scale (default: ci)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="override the preset's batch size")
+    p.add_argument("--cost-model", choices=("flop", "profile", "uniform"),
+                   default=None, help="cost model for preset graphs")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE",
+                   help="solver option, repeatable (e.g. --option time_limit_s=60)")
+    p.add_argument("--chrome-trace", metavar="FILE", default=None,
+                   help="also write Chrome trace-event JSON to FILE "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--json", action="store_true",
+                   help="print the span tree as JSON instead of a waterfall")
+    p.add_argument("--server", default=None,
+                   help="fetch /v1/trace/{target} from this daemon instead of "
+                        "solving locally")
+    p.add_argument("--http-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("status", help="server health/metrics, or one job's status")
     p.add_argument("job_id", nargs="?", default=None)

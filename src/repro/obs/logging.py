@@ -1,0 +1,88 @@
+"""Structured JSON logging with trace-ID correlation (stdlib ``logging``).
+
+Every record is one JSON object per line -- ``ts``, ``level``, ``logger``,
+``message``, ``thread``, plus the current trace ID (when a traced span is
+active on the emitting thread) and any ``extra={...}`` fields -- so a worker
+thread failure in the daemon is attributable to the request trace that
+caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from typing import Optional
+
+from .trace import get_tracer
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+#: Attributes present on every LogRecord; anything else came in via extra=.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__) | {
+        "message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as single-line JSON with trace correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "thread": record.threadName,
+        }
+        trace_id = get_tracer().current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+_configure_lock = threading.Lock()
+_configured = False
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream=None) -> logging.Logger:
+    """Install a JSON handler on the ``repro`` logger (idempotent).
+
+    Only the ``repro.*`` hierarchy is touched -- the root logger and any
+    host application logging config are left alone.
+    """
+    global _configured
+    logger = logging.getLogger("repro")
+    with _configure_lock:
+        if _configured and stream is None:
+            return logger
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+        _configured = True
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``).
+
+    Safe to call before :func:`configure_logging`; un-configured loggers
+    follow normal stdlib propagation (silent by default under pytest).
+    """
+    return logging.getLogger(f"repro.{name}" if name else "repro")

@@ -46,6 +46,10 @@ class ServeClient:
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> dict:
+        return json.loads(self._request_raw(method, path, payload))
+
+    def _request_raw(self, method: str, path: str,
+                     payload: Optional[dict] = None) -> str:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -56,7 +60,7 @@ class ServeClient:
                                          method=method)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                return resp.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8")).get("error", "")
@@ -74,6 +78,17 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus``: the text exposition body."""
+        return self._request_raw("GET", "/v1/metrics?format=prometheus")
+
+    def trace(self, job_id: str, fmt: Optional[str] = None) -> dict:
+        """``GET /v1/trace/{job_id}``: span tree (or Chrome events with
+        ``fmt="chrome"``) for a settled job, while its trace is still in the
+        server's bounded trace store."""
+        suffix = f"?format={fmt}" if fmt else ""
+        return self._request("GET", f"/v1/trace/{job_id}{suffix}")
 
     def strategies(self) -> List[dict]:
         return self._request("GET", "/v1/strategies")["strategies"]

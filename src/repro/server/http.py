@@ -12,7 +12,10 @@ Endpoints (all JSON bodies/responses, ``/v1`` prefix):
 ``GET  /v1/jobs/{id}/result``  result payload (409 until terminal)
 ``POST /v1/jobs/{id}/cancel``  cancel (also ``DELETE /v1/jobs/{id}``)
 ``GET  /v1/healthz``           liveness + queue depth
-``GET  /v1/metrics``           queue depth, cache hit rate, p50/p95 latency
+``GET  /v1/metrics``           queue/cache/latency counters (JSON); add
+                               ``?format=prometheus`` for text exposition
+``GET  /v1/trace/{id}``        span tree of a job's solve trace; add
+                               ``?format=chrome`` for Chrome trace JSON
 ``GET  /v1/strategies``        the solver registry
 ``GET  /v1/presets``           experiment presets addressable in requests
 ============================== =============================================
@@ -40,6 +43,9 @@ from typing import Optional, Tuple
 from ..core.dfgraph import DFGraph
 from ..cost_model import COST_MODELS
 from ..experiments.presets import EXPERIMENT_MODELS, build_training_graph
+from ..obs.logging import get_logger
+from ..obs.metrics import flatten_numeric, get_metrics_registry
+from ..obs.trace import chrome_trace, get_tracer, span_tree
 from ..service import SolveService, SolverOptions, SweepCell
 from ..utils.serialization import graph_from_wire, result_to_wire
 from .jobs import Job, JobQueue, JobState
@@ -48,6 +54,8 @@ __all__ = ["SolveServer", "DEFAULT_PORT", "serve"]
 
 DEFAULT_PORT = 8765
 API_VERSION = "v1"
+
+_log = get_logger("server.http")
 
 _COST_MODELS = COST_MODELS
 
@@ -322,8 +330,56 @@ class _App:
             "running": metrics["running"],
         }
 
-    def get_metrics(self) -> Tuple[int, dict]:
-        return 200, self.queue.metrics()
+    def get_metrics(self, fmt: Optional[str] = None):
+        """``/v1/metrics``: JSON by default, text exposition with
+        ``?format=prometheus``.
+
+        The Prometheus view renders the typed instrument registry (HTTP
+        request counters, per-phase latency histograms) and flattens the
+        whole JSON payload into ``repro_*`` gauges, so every counter in
+        ``SolveService.statistics()`` is scrapeable.
+        """
+        payload = self.queue.metrics()
+        tracer = get_tracer()
+        payload["tracing"] = dict(tracer.store.stats(),
+                                  enabled=tracer.enabled)
+        if fmt is None or fmt == "json":
+            return 200, payload
+        if fmt != "prometheus":
+            raise ApiError(400, f"unknown metrics format {fmt!r}; "
+                                "use 'json' or 'prometheus'")
+        registry = get_metrics_registry()
+        text = registry.render_prometheus(
+            extra_numeric=flatten_numeric(payload, prefix="repro"))
+        return 200, text
+
+    def get_trace(self, job_id: str, fmt: Optional[str] = None) -> Tuple[int, dict]:
+        """``/v1/trace/{job_id}``: the span tree of the job's flight.
+
+        ``?format=chrome`` returns Chrome trace-event JSON instead (save it
+        and load in ``chrome://tracing`` / Perfetto).
+        """
+        job = self._job(job_id)
+        if job.trace_id is None:
+            raise ApiError(404, f"job {job_id} has no trace "
+                                "(tracing disabled at submission?)")
+        spans = get_tracer().store.spans(job.trace_id)
+        if not spans:
+            raise ApiError(404, f"trace {job.trace_id} of job {job_id} has "
+                                "no recorded spans (evicted or still running)")
+        if fmt == "chrome":
+            return 200, chrome_trace(spans)
+        if fmt is not None and fmt != "tree":
+            raise ApiError(400, f"unknown trace format {fmt!r}; "
+                                "use 'tree' or 'chrome'")
+        return 200, {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state.value,
+            "span_count": len(spans),
+            "phases": get_tracer().store.phase_totals(job.trace_id),
+            "tree": span_tree(spans),
+        }
 
     def get_strategies(self) -> Tuple[int, dict]:
         entries = []
@@ -358,6 +414,15 @@ class _App:
 
 _JOB_PATH = re.compile(rf"^/{API_VERSION}/jobs/(?P<job_id>[0-9a-f]+)"
                        r"(?P<sub>/result|/cancel)?$")
+_TRACE_PATH = re.compile(rf"^/{API_VERSION}/trace/(?P<job_id>[0-9a-f]+)$")
+#: Collapses job ids out of paths for bounded-cardinality route labels.
+_ROUTE_LABEL = re.compile(r"/[0-9a-f]{12,}")
+
+_HTTP_REQUESTS = get_metrics_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served by the solve daemon.",
+    labelnames=("method", "route", "code"),
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -380,10 +445,17 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------ #
-    def _send(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _send(self, status: int, body) -> None:
+        # Routes return a dict (JSON) or a str (preformatted text body --
+        # the Prometheus exposition).
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -404,18 +476,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         self._body_consumed = False
+        path = self.path.partition("?")[0].rstrip("/") or "/"
+        route = _ROUTE_LABEL.sub("/{id}", path)
         try:
-            try:
-                status, body = self._route(method)
-            except ApiError as exc:
-                status, body = exc.status, {"error": exc.message}
-            except Exception as exc:  # noqa: BLE001 - request isolation boundary
-                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            with get_tracer().span("http-request", method=method,
+                                   route=route) as span:
+                try:
+                    status, body = self._route(method)
+                except ApiError as exc:
+                    status, body = exc.status, {"error": exc.message}
+                except Exception as exc:  # noqa: BLE001 - request isolation boundary
+                    _log.error("unhandled error in %s %s: %s: %s",
+                               method, path, type(exc).__name__, exc,
+                               exc_info=True)
+                    status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                span.set_attribute("status", status)
+            _HTTP_REQUESTS.inc(method=method, route=route, code=str(status))
             self._drain_body()
             self._send(status, body)
-        except (TimeoutError, OSError):
+        except (TimeoutError, OSError) as exc:
             # Stalled or vanished client: the stream is unusable (a partial
             # body read would corrupt keep-alive framing) -- drop it.
+            _log.warning("client connection dropped on %s %s: %s",
+                         method, path, exc)
             self.close_connection = True
 
     def _drain_body(self) -> None:
@@ -441,13 +524,17 @@ class _Handler(BaseHTTPRequestHandler):
             if path == f"/{API_VERSION}/healthz":
                 return app.get_healthz()
             if path == f"/{API_VERSION}/metrics":
-                return app.get_metrics()
+                return app.get_metrics(params.get("format"))
             if path == f"/{API_VERSION}/strategies":
                 return app.get_strategies()
             if path == f"/{API_VERSION}/presets":
                 return app.get_presets()
             if path == f"/{API_VERSION}/jobs":
                 return app.get_jobs(params.get("state"))
+            match = _TRACE_PATH.match(path)
+            if match:
+                return app.get_trace(match.group("job_id"),
+                                     params.get("format"))
             match = _JOB_PATH.match(path)
             if match and match.group("sub") in (None, "/result"):
                 if match.group("sub") == "/result":
@@ -501,7 +588,15 @@ class SolveServer:
                  service: Optional[SolveService] = None,
                  queue: Optional[JobQueue] = None,
                  num_workers: Optional[int] = None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 tracing: bool = False) -> None:
+        # Bridge finished spans into the per-phase latency histograms so the
+        # Prometheus scrape has repro_phase_seconds whenever tracing is on.
+        from ..obs import install_phase_histograms
+
+        install_phase_histograms()
+        if tracing:
+            get_tracer().enable()
         self.queue = queue if queue is not None else JobQueue(
             service, num_workers=num_workers)
         self.app = _App(self.queue)
@@ -572,7 +667,8 @@ class SolveServer:
 def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           service: Optional[SolveService] = None,
           num_workers: Optional[int] = None,
-          verbose: bool = False) -> SolveServer:
+          verbose: bool = False,
+          tracing: bool = False) -> SolveServer:
     """Build and start a :class:`SolveServer` (background thread); returns it."""
     return SolveServer(host, port, service=service, num_workers=num_workers,
-                       verbose=verbose).start()
+                       verbose=verbose, tracing=tracing).start()

@@ -51,6 +51,8 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.dfgraph import DFGraph
+from ..obs.logging import get_logger
+from ..obs.trace import get_tracer
 from ..service import (
     PlanCacheKey,
     SolveCancelledError,
@@ -62,6 +64,8 @@ from ..service import (
 from .metrics import LatencyWindow
 
 __all__ = ["JobState", "Job", "JobQueue"]
+
+_log = get_logger("server.jobs")
 
 
 class JobState(str, Enum):
@@ -140,6 +144,12 @@ class Job:
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Trace id of the flight this job rode (None when tracing is off);
+        #: ``GET /v1/trace/{job_id}`` resolves the span tree through it.
+        self.trace_id: Optional[str] = None
+        #: Per-phase wall seconds aggregated from the trace when the flight
+        #: lands (e.g. ``{"ilp-solve": 0.12, "decode": 0.001}``).
+        self.phases: Optional[Dict[str, float]] = None
         self._terminal = threading.Event()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -165,6 +175,8 @@ class Job:
             "run_s": (self.finished_at - self.started_at
                       if self.finished_at is not None and self.started_at is not None
                       else None),
+            "trace_id": self.trace_id,
+            "phases": self.phases,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -180,6 +192,12 @@ class _FlightGroup:
         self.members: List[Job] = []
         self.running = False
         self.finished = False
+        #: Trace carried from the submitting thread into the worker (the
+        #: first submitter's request trace, or a fresh one when the submit
+        #: happened outside any span).  All members share it.
+        self.trace_id: Optional[str] = None
+        self.trace_parent: Optional[int] = None
+        self.submitted_perf = time.perf_counter()
 
     def live_members(self) -> List[Job]:
         return [j for j in self.members if j.state not in TERMINAL_STATES]
@@ -398,13 +416,17 @@ class JobQueue:
     def _submit(self, kind: str, key: str, work, priority: int,
                 description: str, graph_hash: str) -> Job:
         job = Job(kind, description, priority, key, graph_hash)
+        tracer = get_tracer()
+        ctx = tracer.current_context() if tracer.enabled else None
         with self._cond:
             if self._shutdown:
                 raise RuntimeError("job queue is shut down")
             self._counters["submitted"] += 1
             flight = self._flights.get(key)
             if flight is not None and not flight.finished:
-                # Single-flight: ride the existing solver invocation.
+                # Single-flight: ride the existing solver invocation.  The
+                # follower inherits the flight's trace -- one execution, one
+                # trace, shared by every member job.
                 job.deduplicated = True
                 self._counters["deduplicated"] += 1
                 flight.members.append(job)
@@ -413,10 +435,19 @@ class JobQueue:
                     job.started_at = time.time()
             else:
                 flight = _FlightGroup(key, work)
+                if tracer.enabled:
+                    # Propagate the submitter's request trace into the worker;
+                    # a programmatic submit outside any span opens a new trace
+                    # so the job is traceable either way.
+                    if ctx is not None:
+                        flight.trace_id, flight.trace_parent = ctx
+                    else:
+                        flight.trace_id = tracer.new_trace_id()
                 flight.members.append(job)
                 self._flights[key] = flight
                 heapq.heappush(self._heap, (int(priority), next(self._seq), flight))
                 self._cond.notify()
+            job.trace_id = flight.trace_id
             self._jobs[job.id] = job
             self._prune_locked()
         return job
@@ -495,12 +526,25 @@ class JobQueue:
                 for job in live:
                     job.state = JobState.RUNNING
                     job.started_at = now
+            tracer = get_tracer()
+            if flight.trace_id is not None:
+                tracer.record_span("queue-wait", flight.trace_id,
+                                   flight.submitted_perf, time.perf_counter(),
+                                   parent_id=flight.trace_parent)
             t_start = time.monotonic()
             try:
-                result = self._execute(flight)
+                result = self._run_flight(tracer, flight)
             except SolveCancelledError as exc:
+                _log.info("job flight cancelled", extra={
+                    "flight_key": flight.key, "trace_id": flight.trace_id,
+                    "jobs": [j.id for j in flight.members]})
                 self._finish_flight(flight, JobState.CANCELLED, error=str(exc))
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                _log.error("job flight failed: %s: %s",
+                           type(exc).__name__, exc, exc_info=True, extra={
+                               "flight_key": flight.key,
+                               "trace_id": flight.trace_id,
+                               "jobs": [j.id for j in flight.members]})
                 self._finish_flight(flight, JobState.FAILED,
                                     error=f"{type(exc).__name__}: {exc}")
             else:
@@ -508,6 +552,15 @@ class JobQueue:
                           if isinstance(flight.work, _ParetoWork) else self.latency)
                 window.record(time.monotonic() - t_start)
                 self._finish_flight(flight, JobState.DONE, result=result)
+
+    def _run_flight(self, tracer, flight: _FlightGroup):
+        """Execute one flight inside its propagated trace context."""
+        if flight.trace_id is None:
+            return self._execute(flight)
+        with tracer.context(flight.trace_id, flight.trace_parent):
+            with tracer.span("job-run", kind=flight.members[0].kind,
+                             flight_key=flight.key):
+                return self._execute(flight)
 
     def _execute(self, flight: _FlightGroup):
         def abandoned() -> bool:
@@ -532,6 +585,10 @@ class JobQueue:
 
     def _finish_flight(self, flight: _FlightGroup, state: JobState, *,
                        result=None, error: Optional[str] = None) -> None:
+        phases: Optional[Dict[str, float]] = None
+        if flight.trace_id is not None:
+            totals = get_tracer().store.phase_totals(flight.trace_id)
+            phases = {k: round(v, 6) for k, v in totals.items()} or None
         with self._cond:
             flight.finished = True
             if self._flights.get(flight.key) is flight:
@@ -544,6 +601,8 @@ class JobQueue:
                 # innocent new submission that must not inherit the
                 # cancellation.  Re-fly them instead of settling.
                 requeued = _FlightGroup(flight.key, flight.work)
+                requeued.trace_id = flight.trace_id
+                requeued.trace_parent = flight.trace_parent
                 requeued.members.extend(live)
                 for job in live:
                     job.state = JobState.QUEUED
@@ -556,6 +615,7 @@ class JobQueue:
                 return
             for job in live:
                 job.result = result
+                job.phases = phases
                 self._settle_job_locked(job, state, error=error)
             self._prune_locked()
 

@@ -1,20 +1,28 @@
 """Serving metrics: counters and a bounded latency window with quantiles.
 
-The daemon's ``/v1/metrics`` endpoint reports p50/p95 solve latency.  Keeping
-every latency forever would grow without bound on a long-lived server, so
-:class:`LatencyWindow` keeps a sliding window of the most recent ``maxlen``
-observations -- the standard trade-off for operational percentiles (they
-describe *recent* behaviour, which is what an operator watching a dashboard
-wants).
+The daemon's ``/v1/metrics`` endpoint reports p50/p95/p99 solve latency.
+Keeping every latency forever would grow without bound on a long-lived
+server, so :class:`LatencyWindow` keeps a sliding window of the most recent
+``maxlen`` observations -- the standard trade-off for operational
+percentiles (they describe *recent* behaviour, which is what an operator
+watching a dashboard wants).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["LatencyWindow"]
+
+
+def _nearest_rank(ordered: List[float], q: float) -> Optional[float]:
+    """Nearest-rank quantile of an already-sorted sample list."""
+    if not ordered:
+        return None
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 class LatencyWindow:
@@ -37,27 +45,19 @@ class LatencyWindow:
         if not (0.0 <= q <= 1.0):
             raise ValueError("quantile must be in [0, 1]")
         with self._lock:
-            if not self._samples:
-                return None
             ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        return _nearest_rank(ordered, q)
 
     def snapshot(self) -> Dict[str, object]:
-        """Counters plus p50/p95 in one consistent view."""
+        """Counters plus p50/p95/p99 in one consistent view."""
         with self._lock:
             ordered = sorted(self._samples)
             count, total = self._count, self._total
-
-        def q(p: float) -> Optional[float]:
-            if not ordered:
-                return None
-            return ordered[min(len(ordered) - 1, max(0, round(p * (len(ordered) - 1))))]
-
         return {
             "count": count,
             "total_s": total,
             "window": len(ordered),
-            "p50_s": q(0.50),
-            "p95_s": q(0.95),
+            "p50_s": _nearest_rank(ordered, 0.50),
+            "p95_s": _nearest_rank(ordered, 0.95),
+            "p99_s": _nearest_rank(ordered, 0.99),
         }

@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult, StrategyNotApplicableError
+from ..obs.trace import get_tracer
 from ..solvers.compiled import compiled_formulation_enabled, get_formulation_cache
 from ..solvers.warm import WarmSeed, warm_seed_from_result
 from .cache import PlanCache, PlanCacheKey
@@ -250,40 +252,66 @@ class SolveService:
         spec = self.registry.get(strategy)
         options = options if options is not None else self.default_options
 
+        tracer = get_tracer()
         key: Optional[PlanCacheKey] = None
         family: Optional[str] = None
         warm_ok = spec.warm_start_capable and budget is not None
+        lookup_start = 0.0
         if use_cache and self.cache is not None:
+            # Cache hits bypass the span context manager entirely: a warm
+            # cell is microseconds of real work, so the hit path records one
+            # flat pre-measured span (several times cheaper than a live
+            # enter/exit) while misses open the usual "solve" span below,
+            # before any solver work.
+            lookup_start = time.perf_counter()
             graph_hash = graph_content_hash(graph)
             options_token = options.cache_token(spec.option_map)
-            key = PlanCacheKey.build(graph_hash, spec.key, budget, options_token)
+            key = PlanCacheKey.build(graph_hash, spec.key, budget,
+                                     options_token)
             if warm_ok:
                 family = "|".join((graph_hash, spec.key, options_token))
             cached = self.cache.get(key, graph)
             if cached is not None:
                 self.stats.record(solver_call=False, cache_hit=True)
+                if tracer.enabled:
+                    end_s = time.perf_counter()
+                    if not tracer.record_child_span(
+                            "solve", lookup_start, end_s,
+                            strategy=strategy, cache_hit=True):
+                        # Root-level hit: give it its own single-span trace.
+                        tracer.record_span(
+                            "solve", tracer.new_trace_id(), lookup_start,
+                            end_s, strategy=strategy, cache_hit=True)
                 return cached
-            if warm_ok and warm_start is None and auto_warm_start:
-                neighbor = self.cache.neighbor_above(family, budget)
-                if neighbor is not None:
-                    warm_start = warm_seed_from_result(graph, neighbor[1])
 
-        if should_cancel is not None and should_cancel():
-            raise SolveCancelledError(f"solve of {strategy!r} cancelled before solver start")
-        result, applicable = self._invoke(
-            spec, graph, budget, options, strict=strict,
-            warm_start=warm_start if warm_ok else None,
-        )
-        self.stats.record(solver_call=True, cache_hit=False if key is not None else None)
-        # Warm counters move only here, after a fresh invocation: a cache hit
-        # replays a stored result and must not re-count its warm markers.
-        self.stats.record_warm(result)
-        # "not-applicable" placeholders (the strategy raised before solving) are
-        # never cached: they cost nothing to reproduce, and caching them would
-        # make a later strict=True call return a placeholder instead of raising.
-        if key is not None and applicable and _cacheable(result):
-            self.cache.put(key, result, family=family, budget=budget)
-        return result
+        with tracer.span("solve", strategy=strategy):
+            if key is not None:
+                tracer.record_child_span("cache-lookup", lookup_start,
+                                         time.perf_counter())
+                if warm_ok and warm_start is None and auto_warm_start:
+                    with tracer.span("warm-seed"):
+                        neighbor = self.cache.neighbor_above(family, budget)
+                        if neighbor is not None:
+                            warm_start = warm_seed_from_result(graph, neighbor[1])
+
+            if should_cancel is not None and should_cancel():
+                raise SolveCancelledError(
+                    f"solve of {strategy!r} cancelled before solver start")
+            result, applicable = self._invoke(
+                spec, graph, budget, options, strict=strict,
+                warm_start=warm_start if warm_ok else None,
+            )
+            self.stats.record(solver_call=True,
+                              cache_hit=False if key is not None else None)
+            # Warm counters move only here, after a fresh invocation: a cache hit
+            # replays a stored result and must not re-count its warm markers.
+            self.stats.record_warm(result)
+            # "not-applicable" placeholders (the strategy raised before solving) are
+            # never cached: they cost nothing to reproduce, and caching them would
+            # make a later strict=True call return a placeholder instead of raising.
+            if key is not None and applicable and _cacheable(result):
+                self.cache.put(key, result, family=family, budget=budget)
+            return result
 
     def _invoke(self, spec: SolverSpec, graph: DFGraph, budget: Optional[float],
                 options: SolverOptions, *, strict: bool,
@@ -338,17 +366,21 @@ class SolveService:
         """
         from ..execution import NumericGraph, bind_numeric_graph, build_execution_report
 
-        if isinstance(numeric_or_graph, NumericGraph):
-            numeric = numeric_or_graph
-        else:
-            numeric = bind_numeric_graph(numeric_or_graph, seed=seed)
-        result = self.solve(numeric.graph, strategy, budget, options,
-                            use_cache=use_cache, strict=strict,
-                            should_cancel=should_cancel)
-        report = build_execution_report(numeric, result,
-                                        record_outputs=record_outputs)
-        self.stats.record_execution()
-        return report
+        tracer = get_tracer()
+        with tracer.span("execute", strategy=strategy):
+            if isinstance(numeric_or_graph, NumericGraph):
+                numeric = numeric_or_graph
+            else:
+                with tracer.span("bind-numeric"):
+                    numeric = bind_numeric_graph(numeric_or_graph, seed=seed)
+            result = self.solve(numeric.graph, strategy, budget, options,
+                                use_cache=use_cache, strict=strict,
+                                should_cancel=should_cancel)
+            with tracer.span("tensor-execute"):
+                report = build_execution_report(numeric, result,
+                                                record_outputs=record_outputs)
+            self.stats.record_execution()
+            return report
 
     # ------------------------------------------------------------------ #
     # Parallel fan-out
@@ -407,6 +439,28 @@ class SolveService:
         if not normalized:
             return []
 
+        tracer = get_tracer()
+        with tracer.span("sweep", cells=len(normalized)):
+            return self._sweep_cells(
+                graph, normalized, options=options, max_workers=max_workers,
+                parallel=parallel, use_cache=use_cache, strict=strict,
+                should_cancel=should_cancel, warm_start=warm_start,
+            )
+
+    def _sweep_cells(
+        self,
+        graph: DFGraph,
+        normalized: List[SweepCell],
+        *,
+        options: Optional[SolverOptions],
+        max_workers: Optional[int],
+        parallel: bool,
+        use_cache: bool,
+        strict: bool,
+        should_cancel: Optional[Callable[[], bool]],
+        warm_start: bool,
+    ) -> List[ScheduledResult]:
+
         # Compile the graph's MILP formulation once, up front, when any cell
         # will need it: every budget of the sweep then re-budgets the shared
         # CompiledFormulation in O(1), and parallel workers never pile up on
@@ -455,7 +509,12 @@ class SolveService:
         else:
             chains = [[idx] for idx in range(len(unique))]
 
-        def solve_unit(unit: List[int]) -> List[Tuple[int, ScheduledResult]]:
+        # Pool threads have no trace context of their own; hand them the
+        # sweep's so every cell's solve span lands in the caller's trace.
+        tracer = get_tracer()
+        trace_ctx = tracer.current_context()
+
+        def solve_chain(unit: List[int]) -> List[Tuple[int, ScheduledResult]]:
             seed: Optional[WarmSeed] = None
             out: List[Tuple[int, ScheduledResult]] = []
             for idx in unit:
@@ -468,6 +527,15 @@ class SolveService:
                 if len(unit) > 1 and result.feasible and result.matrices is not None:
                     seed = warm_seed_from_result(graph, result) or seed
             return out
+
+        def solve_unit(unit: List[int]) -> List[Tuple[int, ScheduledResult]]:
+            # The sequential path runs on the caller's thread, which already
+            # carries the sweep's context -- re-attaching it would only add
+            # per-chain overhead.
+            if trace_ctx is None or tracer.current_trace_id() == trace_ctx[0]:
+                return solve_chain(unit)
+            with tracer.context(*trace_ctx):
+                return solve_chain(unit)
 
         solved: List[Optional[ScheduledResult]] = [None] * len(unique)
         for batch in parallel_map(solve_unit, chains, max_workers=max_workers,
@@ -506,10 +574,11 @@ class SolveService:
         """
         from .pareto import trace_pareto_frontier
 
-        return trace_pareto_frontier(
-            self, graph, strategy, low=low, high=high, resolution=resolution,
-            options=options, use_cache=use_cache, should_cancel=should_cancel,
-        )
+        with get_tracer().span("pareto", strategy=strategy):
+            return trace_pareto_frontier(
+                self, graph, strategy, low=low, high=high, resolution=resolution,
+                options=options, use_cache=use_cache, should_cancel=should_cancel,
+            )
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -13,6 +13,7 @@ from ..core.schedule import (
 )
 from ..core.scheduler import generate_execution_plan
 from ..core.simulator import schedule_peak_memory
+from ..obs.trace import get_tracer
 
 __all__ = ["build_scheduled_result"]
 
@@ -58,10 +59,12 @@ def build_scheduled_result(
             extra=extra or {},
         )
 
+    tracer = get_tracer()
     if validate:
-        violations = validate_correctness_constraints(
-            graph, matrices, frontier_advancing=frontier_advancing
-        )
+        with tracer.span("validate"):
+            violations = validate_correctness_constraints(
+                graph, matrices, frontier_advancing=frontier_advancing
+            )
         if violations:
             raise ValueError(
                 f"strategy {strategy!r} produced an incorrect schedule: "
@@ -70,7 +73,11 @@ def build_scheduled_result(
 
     cost = schedule_compute_cost(graph, matrices)
     peak = peak_memory if peak_memory is not None else schedule_peak_memory(graph, matrices)
-    plan = generate_execution_plan(graph, matrices) if generate_plan else None
+    if generate_plan:
+        with tracer.span("plan"):
+            plan = generate_execution_plan(graph, matrices)
+    else:
+        plan = None
     return ScheduledResult(
         strategy=strategy,
         graph=graph,

@@ -63,6 +63,7 @@ from scipy import sparse
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduleMatrices
+from ..obs.trace import get_tracer
 from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulation
 
 __all__ = [
@@ -479,8 +480,9 @@ class CompiledFormulation:
                 f"budget {budget:.3g} B is below the constant input/parameter "
                 f"overhead {self.graph.constant_overhead:.3g} B"
             )
-        ub = self._ub_template.copy()
-        ub[self.u_slice] = budget / self._mem_scale
+        with get_tracer().span("re-budget"):
+            ub = self._ub_template.copy()
+            ub[self.u_slice] = budget / self._mem_scale
         return FormulationArrays(
             c=self._c,
             integrality=self._integrality,
@@ -619,9 +621,11 @@ class FormulationCache:
             # Another thread is compiling this key: wait and retry the lookup.
             waiter.wait()
         try:
-            compiled = CompiledFormulation(
-                graph, frontier_advancing=frontier_advancing, num_stages=num_stages
-            )
+            with get_tracer().span("compile", graph=graph.name):
+                compiled = CompiledFormulation(
+                    graph, frontier_advancing=frontier_advancing,
+                    num_stages=num_stages,
+                )
         except BaseException:
             with self._lock:
                 self._building.pop(key).set()

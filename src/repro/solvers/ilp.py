@@ -19,6 +19,7 @@ from scipy.optimize import Bounds
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import ScheduledResult
+from ..obs.trace import get_tracer
 from ..utils.timer import Timer
 from .common import build_scheduled_result
 from .compiled import CompiledFormulation, formulation_and_arrays
@@ -134,10 +135,11 @@ def solve_ilp_rematerialization(
         # it within the MIP gap, it is gap-optimal -- skip the integer solve.
         from .lp_relaxation import solve_lp_relaxation
 
-        lp = solve_lp_relaxation(
-            graph, budget, frontier_advancing=frontier_advancing,
-            num_stages=num_stages, time_limit_s=time_limit_s,
-        )
+        with get_tracer().span("lp-bound"):
+            lp = solve_lp_relaxation(
+                graph, budget, frontier_advancing=frontier_advancing,
+                num_stages=num_stages, time_limit_s=time_limit_s,
+            )
         if lp.feasible and seed.objective <= lp.objective * (1.0 + mip_gap):
             return build_scheduled_result(
                 strategy_name, graph, seed.matrices, budget=int(budget),
@@ -154,7 +156,7 @@ def solve_ilp_rematerialization(
     constraints = LinearConstraint(arrays.A, arrays.constraint_lb, arrays.constraint_ub)
     bounds = Bounds(arrays.lb, arrays.ub)
 
-    with Timer() as timer:
+    with Timer() as timer, get_tracer().span("ilp-solve", budget=float(budget)):
         res = milp(
             c=arrays.c,
             constraints=constraints,
@@ -199,7 +201,8 @@ def solve_ilp_rematerialization(
             extra={"formulation": formulation.describe()},
         )
 
-    matrices = formulation.decode_matrices(np.asarray(res.x))
+    with get_tracer().span("decode"):
+        matrices = formulation.decode_matrices(np.asarray(res.x))
     extra = {
         "formulation": formulation.describe(),
         "objective_lower_bound": getattr(res, "mip_dual_bound", None),

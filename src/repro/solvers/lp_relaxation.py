@@ -15,6 +15,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..core.dfgraph import DFGraph
+from ..obs.trace import get_tracer
 from ..utils.timer import Timer
 from .compiled import CompiledFormulation, formulation_and_arrays
 from .formulation import InfeasibleBudgetError
@@ -93,7 +94,7 @@ def solve_lp_relaxation(
     bounds = Bounds(arrays.lb, arrays.ub)
     relaxed_integrality = np.zeros_like(arrays.integrality)
 
-    with Timer() as timer:
+    with Timer() as timer, get_tracer().span("lp-solve", budget=float(budget)):
         res = milp(
             c=arrays.c,
             constraints=constraints,
