@@ -1,0 +1,430 @@
+#!/usr/bin/env python
+"""Open-loop load replay against the solve daemon.
+
+Replays a mixed preset/budget solve workload at stepped arrival rates and
+reports saturation throughput, server-side latency quantiles (p50/p95/p99),
+and the shed rate under admission control.  In comparison mode it boots one
+daemon per worker backend (thread vs process) on an ephemeral port, replays
+the *identical* request list against each, verifies the returned schedules
+are byte-identical per cell, and writes ``BENCH_PR8.json``.
+
+Open-loop means arrivals are scheduled on a fixed clock and submitted whether
+or not earlier requests have finished -- the load does not back off when the
+server slows down, which is what exposes queueing and shedding behavior
+(closed-loop clients self-throttle and hide both).
+
+Usage::
+
+    # Thread-vs-process comparison (spawns two daemons), full workload:
+    python benchmarks/load_replay.py --out BENCH_PR8.json
+
+    # Same but quick, and fail if process/thread throughput < 1.0:
+    python benchmarks/load_replay.py --smoke --min-ratio 1.0
+
+    # Replay against an already-running daemon (CI load-smoke):
+    python benchmarks/load_replay.py --smoke --server http://127.0.0.1:8765
+
+Exit status is non-zero if any replayed job fails, the Prometheus scrape is
+invalid, schedules diverge between backends, or ``--min-ratio`` is not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import build_training_graph  # noqa: E402
+from repro.obs.metrics import validate_prometheus_text  # noqa: E402
+from repro.server import ServeAPIError, ServeClient  # noqa: E402
+
+PRESETS = ("linear_mlp", "linear_cnn", "resnet_tiny")
+STRATEGY = "checkmate_ilp"
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+def build_workload(num_requests: int) -> list:
+    """A deterministic mixed workload: ``num_requests`` solve cells cycling
+    over the presets at stepped budget fractions.
+
+    Every cell gets a *unique* budget (a tiny per-request offset on top of the
+    stepped fraction) so no two requests dedup into one flight and no plan
+    cache short-circuits the solver: the replay measures solve throughput,
+    not cache throughput.
+    """
+    budgets = {}
+    for preset in PRESETS:
+        graph = build_training_graph(preset, scale="ci")
+        budgets[preset] = (float(graph.constant_overhead),
+                           float(graph.total_activation_memory()))
+    fractions = [0.45, 0.55, 0.65, 0.75]
+    requests = []
+    for i in range(num_requests):
+        preset = PRESETS[i % len(PRESETS)]
+        fraction = fractions[(i // len(PRESETS)) % len(fractions)]
+        overhead, activations = budgets[preset]
+        budget = overhead + activations * fraction + i  # +i: unique cell
+        requests.append({"preset": preset, "budget": float(int(budget))})
+    return requests
+
+
+# --------------------------------------------------------------------------- #
+# Replay
+# --------------------------------------------------------------------------- #
+def replay(base_url: str, requests: list, rate_per_s: float,
+           timeout_s: float = 600.0) -> dict:
+    """Submit ``requests`` open-loop at ``rate_per_s``, wait for every job to
+    settle, and measure from the server-side job timestamps."""
+    client = ServeClient(base_url, timeout=30.0, max_retries=0)
+    interval = 1.0 / rate_per_s
+    lock = threading.Lock()
+    submitted = []   # (request, job_id)
+    shed = []        # (request, retry_after)
+    errors = []
+
+    def submit(request):
+        try:
+            handle = client.submit_solve(strategy=STRATEGY,
+                                         preset=request["preset"],
+                                         budget=request["budget"])
+            with lock:
+                submitted.append((request, handle["job_id"]))
+        except ServeAPIError as exc:
+            with lock:
+                if exc.status == 503:
+                    shed.append((request, exc.retry_after))
+                else:
+                    errors.append(f"{request}: HTTP {exc.status} {exc.message}")
+
+    start = time.monotonic()
+    threads = []
+    for i, request in enumerate(requests):
+        target = start + i * interval
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        # One thread per submission keeps the arrival clock open-loop even
+        # when submissions momentarily block on a busy accept queue.
+        t = threading.Thread(target=submit, args=(request,), daemon=True)
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(30)
+    offered_duration = time.monotonic() - start
+
+    # Drain: poll until every accepted job settles.
+    deadline = time.monotonic() + timeout_s
+    jobs = {}
+    for request, job_id in submitted:
+        while True:
+            status = client.job(job_id)
+            if status["state"] not in ("queued", "running"):
+                jobs[job_id] = (request, status)
+                break
+            if time.monotonic() > deadline:
+                errors.append(f"job {job_id} still {status['state']} "
+                              f"after {timeout_s:g}s")
+                jobs[job_id] = (request, status)
+                break
+            time.sleep(0.05)
+
+    done = {jid: (req, st) for jid, (req, st) in jobs.items()
+            if st["state"] == "done"}
+    failed = {jid: (req, st) for jid, (req, st) in jobs.items()
+              if st["state"] not in ("done",)}
+    for jid, (req, st) in failed.items():
+        errors.append(f"job {jid} ({req}) ended {st['state']}: "
+                      f"{st.get('error')}")
+
+    latencies = sorted(st["finished_at"] - st["submitted_at"]
+                       for _, st in done.values())
+    queue_waits = sorted(st["started_at"] - st["submitted_at"]
+                         for _, st in done.values()
+                         if st.get("started_at"))
+    if done:
+        first_submit = min(st["submitted_at"] for _, st in done.values())
+        last_finish = max(st["finished_at"] for _, st in done.values())
+        span = max(last_finish - first_submit, 1e-9)
+        throughput = len(done) / span
+    else:
+        throughput = 0.0
+
+    def quantile(values, q):
+        if not values:
+            return None
+        return values[min(int(q * len(values)), len(values) - 1)]
+
+    return {
+        "rate_per_s": rate_per_s,
+        "offered": len(requests),
+        "accepted": len(submitted),
+        "shed": len(shed),
+        "shed_rate": len(shed) / max(len(requests), 1),
+        "retry_after_seen": sorted({ra for _, ra in shed if ra is not None}),
+        "completed": len(done),
+        "failed": len(failed),
+        "throughput_per_s": throughput,
+        "offered_duration_s": offered_duration,
+        "latency_s": {"p50": quantile(latencies, 0.50),
+                      "p95": quantile(latencies, 0.95),
+                      "p99": quantile(latencies, 0.99)},
+        "queue_wait_s": {"p50": quantile(queue_waits, 0.50),
+                         "p95": quantile(queue_waits, 0.95)},
+        "errors": errors,
+        "schedules": {
+            f"{req['preset']}/{req['budget']:g}": _schedule_sha(client, jid)
+            for jid, (req, st) in done.items()
+        },
+    }
+
+
+def _schedule_sha(client: ServeClient, job_id: str):
+    payload = client.result(job_id)
+    schedule = (payload.get("result") or {}).get("schedule")
+    if schedule is None:
+        return None
+    return hashlib.sha256(schedule.encode("utf-8")).hexdigest()
+
+
+def scrape_ok(base_url: str) -> bool:
+    try:
+        text = ServeClient(base_url).metrics_prometheus()
+        per_metric = validate_prometheus_text(text)  # raises on malformed text
+        return sum(per_metric.values()) > 0
+    except Exception as exc:  # noqa: BLE001 - report any scrape failure
+        print(f"prometheus scrape failed: {exc}", file=sys.stderr)
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Daemon lifecycle
+# --------------------------------------------------------------------------- #
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class Daemon:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, backend: str, workers: int,
+                 max_queue_depth=None) -> None:
+        self.port = _free_port()
+        self.url = f"http://127.0.0.1:{self.port}"
+        argv = [sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", str(self.port),
+                "--backend", backend, "--workers", str(workers),
+                "--cache-entries", "0"]
+        if max_queue_depth is not None:
+            argv += ["--max-queue-depth", str(max_queue_depth)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(argv, env=env,
+                                     stdout=subprocess.DEVNULL,
+                                     stderr=subprocess.DEVNULL)
+
+    def wait_ready(self, timeout_s: float = 120.0) -> None:
+        client = ServeClient(self.url, timeout=2.0)
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited early (rc={self.proc.returncode})")
+            try:
+                if client.healthz()["status"] == "ok":
+                    return
+            except ServeAPIError:
+                time.sleep(0.1)
+        raise RuntimeError(f"daemon at {self.url} never became healthy")
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(10)
+
+    def __enter__(self) -> "Daemon":
+        self.wait_ready()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Modes
+# --------------------------------------------------------------------------- #
+def run_attached(args) -> int:
+    requests = build_workload(args.requests)
+    print(f"replaying {len(requests)} requests against {args.server} "
+          f"at {args.rates[0]:g}/s", flush=True)
+    report = replay(args.server, requests, args.rates[0],
+                    timeout_s=args.drain_timeout)
+    report.pop("schedules", None)
+    print(json.dumps(report, indent=2))
+    ok = not report["errors"] and report["failed"] == 0
+    if not scrape_ok(args.server):
+        ok = False
+    print("load-smoke:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def run_backend(backend: str, args, requests) -> dict:
+    print(f"--- backend={backend} workers={args.workers} ---", flush=True)
+    runs = []
+    with Daemon(backend, args.workers,
+                max_queue_depth=args.max_queue_depth) as daemon:
+        for rate in args.rates:
+            print(f"  rate {rate:g}/s ...", flush=True)
+            run = replay(daemon.url, requests, rate,
+                         timeout_s=args.drain_timeout)
+            print(f"    completed {run['completed']}/{run['offered']}, "
+                  f"throughput {run['throughput_per_s']:.3f}/s, "
+                  f"p50 {run['latency_s']['p50']:.3f}s "
+                  f"p99 {run['latency_s']['p99']:.3f}s, "
+                  f"shed {run['shed']}", flush=True)
+            runs.append(run)
+        prometheus_valid = scrape_ok(daemon.url)
+    saturation = max(run["throughput_per_s"] for run in runs)
+    return {"backend": backend, "workers": args.workers, "runs": runs,
+            "saturation_throughput_per_s": saturation,
+            "prometheus_valid": prometheus_valid}
+
+
+def run_compare(args) -> int:
+    requests = build_workload(args.requests)
+    results = {name: run_backend(name, args, requests)
+               for name in ("thread", "process")}
+
+    # Schedules must be byte-identical per cell across the two backends.
+    mismatches = []
+    thread_sched: dict = {}
+    process_sched: dict = {}
+    for run in results["thread"]["runs"]:
+        thread_sched.update(run["schedules"])
+    for run in results["process"]["runs"]:
+        process_sched.update(run["schedules"])
+    for cell in sorted(set(thread_sched) & set(process_sched)):
+        if thread_sched[cell] != process_sched[cell]:
+            mismatches.append(cell)
+    for side in results.values():
+        for run in side["runs"]:
+            run.pop("schedules", None)
+
+    ratio = (results["process"]["saturation_throughput_per_s"]
+             / max(results["thread"]["saturation_throughput_per_s"], 1e-9))
+    report = {
+        "benchmark": "load_replay",
+        "strategy": STRATEGY,
+        "presets": list(PRESETS),
+        "requests": len(requests),
+        "rates_per_s": args.rates,
+        "env": {
+            "python": sys.version.split()[0],
+            "cpus": os.cpu_count(),
+            "note": ("process-over-thread speedup requires multiple cores; "
+                     "on a single-CPU host the two backends timeshare one "
+                     "core and the ratio reflects IPC overhead, not "
+                     "parallelism. scipy's HiGHS MILP releases the GIL, so "
+                     "the thread backend is a strong baseline."),
+        },
+        "thread": results["thread"],
+        "process": results["process"],
+        "process_over_thread_saturation_ratio": ratio,
+        "schedule_cells_compared": len(set(thread_sched) & set(process_sched)),
+        "schedule_mismatches": mismatches,
+    }
+    out = args.out
+    if not os.path.isabs(out):
+        out = os.path.join(_REPO_ROOT, out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print(f"saturation throughput: thread "
+          f"{results['thread']['saturation_throughput_per_s']:.3f}/s, "
+          f"process {results['process']['saturation_throughput_per_s']:.3f}/s "
+          f"(ratio {ratio:.3f}, {os.cpu_count()} cpu)")
+
+    ok = True
+    for name, side in results.items():
+        failures = sum(run["failed"] for run in side["runs"])
+        if failures or not side["prometheus_valid"]:
+            print(f"{name}: {failures} failed jobs, prometheus_valid="
+                  f"{side['prometheus_valid']}", file=sys.stderr)
+            ok = False
+    if mismatches:
+        print(f"schedule mismatches between backends: {mismatches}",
+              file=sys.stderr)
+        ok = False
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(f"process/thread ratio {ratio:.3f} below required "
+              f"{args.min_ratio:g}", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server", default=None,
+                        help="attach to a running daemon instead of spawning "
+                             "one per backend (single replay, no comparison)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast workload (CI)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="number of requests per replay "
+                             "(default: 36, or 9 with --smoke)")
+    parser.add_argument("--rates", default=None,
+                        help="comma-separated arrival rates in req/s "
+                             "(default: 1,2,4, or 2 with --smoke)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker count (spawned daemons)")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        help="admission-control depth for spawned daemons "
+                             "(default: 24, or unbounded with --smoke) -- "
+                             "the top arrival rate is meant to overrun it "
+                             "so the report exercises 503 shedding")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail unless process/thread saturation "
+                             "throughput ratio reaches this")
+    parser.add_argument("--drain-timeout", type=float, default=600.0,
+                        help="max seconds to wait for accepted jobs to settle")
+    parser.add_argument("--out", default="BENCH_PR8.json",
+                        help="comparison report path (relative to repo root)")
+    args = parser.parse_args(argv)
+
+    if args.requests is None:
+        args.requests = 9 if args.smoke else 48
+    if args.rates is None:
+        # The top rate should exceed single-host solve capacity (these ci-scale
+        # MILP cells solve in ~0.1-0.7s) so the last step measures saturation
+        # throughput rather than the offered rate.
+        args.rates = [2.0] if args.smoke else [2.0, 8.0, 16.0]
+    else:
+        args.rates = [float(r) for r in str(args.rates).split(",") if r]
+    if args.max_queue_depth is None and not args.smoke and not args.server:
+        args.max_queue_depth = 24
+
+    if args.server:
+        return run_attached(args)
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

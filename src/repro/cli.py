@@ -157,12 +157,17 @@ def cmd_serve(args) -> int:
     service = SolveService(cache=cache)
     server = SolveServer(args.host, args.port, service=service,
                          num_workers=args.workers, verbose=args.verbose,
-                         tracing=not args.no_trace)
+                         tracing=not args.no_trace,
+                         backend=args.backend,
+                         max_queue_depth=args.max_queue_depth,
+                         default_deadline_s=args.default_deadline_s)
     disk = f", disk cache at {args.cache_dir}" if args.cache_dir else ""
     trace = "off" if args.no_trace else "on"
+    shed = (f", shed at depth {args.max_queue_depth}"
+            if args.max_queue_depth else "")
     print(f"repro solve server listening on {server.url} "
-          f"({server.queue.num_workers} workers{disk}, tracing {trace}); "
-          f"Ctrl-C to stop",
+          f"({server.queue.num_workers} {args.backend} workers{disk}{shed}, "
+          f"tracing {trace}); Ctrl-C to stop",
           flush=True)
     server.serve_forever()
     return 0
@@ -537,6 +542,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--workers", type=int, default=None,
                    help="worker pool size (default: min(4, cpu count))")
+    p.add_argument("--backend", choices=("thread", "process"), default="thread",
+                   help="worker backend: 'thread' (in-process, default) or "
+                        "'process' (a spawn-based process pool; solves run "
+                        "in parallel across cores)")
+    p.add_argument("--max-queue-depth", type=int, default=None,
+                   help="admission control: shed new submissions with 503 + "
+                        "Retry-After once this many flights are queued "
+                        "(default: unbounded)")
+    p.add_argument("--default-deadline-s", type=float, default=None,
+                   help="default per-job deadline in seconds; jobs still "
+                        "queued or running past it fail with "
+                        "'deadline-exceeded' (default: none)")
     p.add_argument("--cache-dir", default=None,
                    help="persist solved plans as JSON under this directory")
     p.add_argument("--cache-entries", type=int, default=512,

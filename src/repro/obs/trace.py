@@ -134,6 +134,18 @@ class TraceStore:
             rows = list(self._traces.get(trace_id, ()))
         return sorted((Span(*row) for row in rows), key=lambda s: s.start_s)
 
+    def pop_rows(self, trace_id: str) -> List[tuple]:
+        """Remove and return one trace's raw span rows.
+
+        The worker-process export path: a solver worker records its spans
+        locally, pops the rows, and ships them to the parent process (which
+        grafts them into the submitting request's trace via
+        :meth:`Tracer.graft_rows`).  Raw tuples, not :class:`Span` objects --
+        they are about to cross a pickle boundary.
+        """
+        with self._lock:
+            return self._traces.pop(trace_id, [])
+
     def trace_ids(self) -> List[str]:
         with self._lock:
             return list(self._traces)
@@ -412,6 +424,40 @@ class Tracer:
                        start_s, end_s, thread_info[0], thread_info[1],
                        attributes or None))
         return True
+
+    def graft_rows(self, rows: List[tuple], trace_id: str,
+                   parent_id: Optional[int] = None,
+                   offset_s: float = 0.0) -> int:
+        """Attach span rows recorded in *another process* to a local trace.
+
+        Rows come from the remote tracer's :meth:`TraceStore.pop_rows`.
+        Span ids are remapped onto this tracer's id counter (remote counters
+        collide with local ones), parent links are rewritten through the
+        same mapping -- remote roots (``parent_id is None``) and orphans
+        attach under ``parent_id`` -- and timestamps are shifted by
+        ``offset_s``, the caller's estimate of the clock skew between the
+        remote ``perf_counter()`` and the local one (``perf_counter`` is
+        per-process; see the process backend for the wall-clock-anchor
+        rebasing).  Returns the number of spans grafted.
+        """
+        if not self._enabled or not rows:
+            return 0
+        mapping: Dict[int, int] = {}
+        for row in rows:
+            mapping[row[2]] = next(self._ids)
+        grafted = []
+        for (name, _tid, span_id, old_parent, start_s, end_s,
+             thread_id, thread_name, attrs) in rows:
+            new_parent = (mapping.get(old_parent, parent_id)
+                          if old_parent is not None else parent_id)
+            grafted.append((name, trace_id, mapping[span_id], new_parent,
+                            start_s + offset_s, end_s + offset_s,
+                            thread_id, thread_name, attrs))
+        self.store.add_many(grafted)
+        hook = self.on_span_end
+        if hook is not None:
+            hook([(row[0], row[5] - row[4]) for row in grafted])
+        return len(grafted)
 
     # ------------------------------------------------------------------ #
     # Trace identity and cross-thread propagation

@@ -1,0 +1,609 @@
+"""Pluggable worker backends for the solve daemon's job queue.
+
+The :class:`~repro.server.jobs.JobQueue` owns queueing policy -- priority
+order, single-flighting, admission control, deadlines -- and delegates the
+actual execution of one flight to a :class:`WorkerBackend`:
+
+* :class:`ThreadBackend` runs the flight synchronously on the queue's worker
+  thread through the shared in-process :class:`SolveService`.  This is the
+  original daemon behavior: cheapest possible dispatch, but every solve in
+  the process contends on one GIL for its Python-side work (graph hashing,
+  formulation compile, schedule decode, plan generation, JSON).
+* :class:`ProcessBackend` ships solver invocations to a pool of long-lived
+  worker *processes* over the wire formats in
+  :mod:`repro.utils.serialization` (graph/options out, result back), so
+  solves scale across cores.  Each worker process rebuilds its own
+  :class:`SolveService` in ``_worker_init``; a shared on-disk plan-cache
+  directory makes any worker's solve a disk hit for all the others (and for
+  the parent).  Queue-level single-flighting still holds: duplicate
+  submissions collapse into one flight *before* the backend sees them, so
+  the pool receives one task per distinct cell no matter how many processes
+  drain it.
+
+Crash containment (the health/reap path): a worker that dies mid-task --
+OOM-killed, segfaulted native code -- surfaces as ``BrokenProcessPool`` on
+the harvesting thread.  The backend converts that into a structured
+:class:`WorkerCrashError` (the queue marks the flight's jobs ``failed`` with
+the payload) and rebuilds the pool under a lock, so one crash costs one
+flight, never the daemon.  Worker exceptions never travel as live exception
+objects: ``_run_task`` catches everything in the child and returns a plain
+``{"ok": False, "error": {...}}`` dict, so an unpicklable exception type
+cannot poison the result channel.
+
+Tracing: workers record their solve spans into their own in-process tracer,
+ship the raw span rows back with the result, and the parent grafts them --
+ids remapped, clock rebased via a shared wall-clock anchor -- under the
+flight's ``job-run`` span, so ``GET /v1/trace/{job_id}`` shows one tree
+whether the solve ran in-process or three processes away.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.dfgraph import DFGraph
+from ..obs.logging import get_logger
+from ..obs.trace import get_tracer
+from ..service import SolveCancelledError, SolveService, SolverOptions, SweepCell
+from ..utils.serialization import (
+    graph_from_wire,
+    graph_to_wire,
+    options_from_wire,
+    options_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+__all__ = [
+    "SolveWork",
+    "SweepWork",
+    "ExecuteWork",
+    "ParetoWork",
+    "WorkerBackend",
+    "WorkerCrashError",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+_log = get_logger("server.backends")
+
+
+# --------------------------------------------------------------------------- #
+# Work descriptions (what one flight executes)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SolveWork:
+    graph: DFGraph
+    strategy: str
+    budget: Optional[float]
+    options: Optional[SolverOptions]
+
+
+@dataclass(frozen=True)
+class SweepWork:
+    graph: DFGraph
+    cells: Tuple[SweepCell, ...]
+    options: Optional[SolverOptions]
+
+
+@dataclass(frozen=True)
+class ExecuteWork:
+    graph: DFGraph
+    strategy: str
+    budget: Optional[float]
+    options: Optional[SolverOptions]
+    seed: int
+
+
+@dataclass(frozen=True)
+class ParetoWork:
+    graph: DFGraph
+    strategy: str
+    low: Optional[float]
+    high: Optional[float]
+    resolution: Optional[float]
+    options: Optional[SolverOptions]
+
+
+Work = Union[SolveWork, SweepWork, ExecuteWork, ParetoWork]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-flight; ``info`` is the structured payload
+    the queue attaches to the failed jobs."""
+
+    def __init__(self, message: str, info: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.info = dict(info or {}, type="worker-crash", message=message)
+
+
+class WorkerBackend:
+    """Protocol for flight execution engines (duck-typed; subclassing is
+    optional).
+
+    ``run`` executes one flight's work synchronously from the calling queue
+    worker thread and either returns the result object or raises
+    (:class:`SolveCancelledError` for abandonment, anything else fails the
+    flight).  ``should_abandon`` is the queue's cooperative hook: it returns
+    ``True`` once no live job wants the result anymore (all cancelled or past
+    their deadline), and backends poll it to stop waiting.
+    """
+
+    name = "abstract"
+
+    def start(self) -> "WorkerBackend":
+        return self
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        return None
+
+    def run(self, work: Work, should_abandon: Callable[[], bool]):
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return {"name": self.name}
+
+
+class ThreadBackend(WorkerBackend):
+    """Run flights in-process on the queue's own worker threads."""
+
+    name = "thread"
+
+    def __init__(self, service: SolveService) -> None:
+        self.service = service
+
+    def run(self, work: Work, should_abandon: Callable[[], bool]):
+        if isinstance(work, SolveWork):
+            return self.service.solve(work.graph, work.strategy, work.budget,
+                                      work.options, should_cancel=should_abandon)
+        if isinstance(work, ExecuteWork):
+            return self.service.execute(work.graph, work.strategy, work.budget,
+                                        work.options, seed=work.seed,
+                                        should_cancel=should_abandon)
+        if isinstance(work, ParetoWork):
+            return self.service.pareto(work.graph, work.strategy,
+                                       low=work.low, high=work.high,
+                                       resolution=work.resolution,
+                                       options=work.options,
+                                       should_cancel=should_abandon)
+        return self.service.sweep(work.graph, work.cells, options=work.options,
+                                  should_cancel=should_abandon)
+
+    def stats(self) -> dict:
+        return {"name": self.name}
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process side (module-level so spawn can pickle them by reference)
+# --------------------------------------------------------------------------- #
+_WORKER_SERVICE: Optional[SolveService] = None
+
+
+def _worker_init(cache_dir: Optional[str], cache_entries: int) -> None:
+    """Build this worker process's own :class:`SolveService`.
+
+    ``cache_dir`` is the *shared* disk tier: every worker (and the parent)
+    points its :class:`PlanCache` at the same directory, so one worker's
+    solve persists a JSON plan all the others hit.
+    """
+    global _WORKER_SERVICE
+    from ..service import PlanCache
+
+    cache = (PlanCache(max_entries=cache_entries, cache_dir=cache_dir)
+             if (cache_entries > 0 or cache_dir) else None)
+    _WORKER_SERVICE = SolveService(cache=cache)
+
+
+def _worker_ping() -> int:
+    """Warmup probe: forces the worker up and its imports resolved."""
+    return os.getpid()
+
+
+def _run_task(payload: dict) -> dict:
+    """Execute one shipped task inside the worker process.
+
+    The contract is "never raise": every failure -- including exception
+    types that would not survive pickling back to the parent -- is folded
+    into a plain-dict ``{"ok": False, "error": {...}}`` response.  Only an
+    abrupt process death can break the channel, and the parent handles that
+    separately (``BrokenProcessPool`` -> :class:`WorkerCrashError`).
+    """
+    try:
+        service = _WORKER_SERVICE
+        if service is None:  # initializer not run (direct use in tests)
+            _worker_init(None, 0)
+            service = _WORKER_SERVICE
+        graph = graph_from_wire(payload["graph"])
+        options = (options_from_wire(payload["options"])
+                   if payload.get("options") is not None else None)
+        want_trace = bool(payload.get("trace"))
+        tracer = get_tracer()
+        trace_id = None
+        wall_anchor = perf_anchor = 0.0
+        if want_trace:
+            if not tracer.enabled:
+                tracer.enable()
+            trace_id = tracer.new_trace_id()
+            wall_anchor = time.time()
+            perf_anchor = time.perf_counter()
+        ctx = (tracer.context(trace_id) if trace_id is not None
+               else _NULL_CONTEXT)
+        with ctx:
+            if payload["kind"] == "sweep":
+                cells = tuple(
+                    SweepCell(strategy=c["strategy"], budget=c.get("budget"),
+                              options=(options_from_wire(c["options"])
+                                       if c.get("options") is not None else None))
+                    for c in payload["cells"])
+                results = service.sweep(graph, cells, options=options)
+                result_wire: object = [result_to_wire(r) for r in results]
+            else:
+                result = service.solve(graph, payload["strategy"],
+                                       payload.get("budget"), options)
+                result_wire = result_to_wire(result)
+        rows: List[tuple] = []
+        if trace_id is not None:
+            rows = tracer.store.pop_rows(trace_id)
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "result": result_wire,
+            # Echo of the decoded options: lets callers assert the wire
+            # round-trip field-for-field against what they sent.
+            "options_echo": (options_to_wire(options)
+                            if options is not None else None),
+            "stats": _worker_stats_snapshot(service),
+            "spans": rows,
+            "wall_anchor": wall_anchor,
+            "perf_anchor": perf_anchor,
+        }
+    except BaseException as exc:  # noqa: BLE001 - process isolation boundary
+        return {
+            "ok": False,
+            "pid": os.getpid(),
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(limit=20),
+            },
+        }
+
+
+def _worker_stats_snapshot(service: SolveService) -> dict:
+    """Cumulative counters for this worker process (JSON-safe)."""
+    stats = service.statistics()
+    return {
+        "solver_calls": stats["solver_calls"],
+        "cache_hits": stats["cache_hits"],
+        "cache_misses": stats["cache_misses"],
+        "warm_seeds": stats["warm_seeds"],
+        "disk_hits": (stats["cache"] or {}).get("disk_hits", 0),
+    }
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+# --------------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------------- #
+class ProcessBackend(WorkerBackend):
+    """Ship solver invocations to a pool of long-lived worker processes.
+
+    Parameters
+    ----------
+    service:
+        The parent's service.  Still used for (a) the parent-side plan-cache
+        tiers (checked before paying IPC, populated after harvest so repeat
+        submissions answer without touching the pool) and (b) local fallback
+        of work kinds whose results have no wire format (execute, pareto).
+    num_workers:
+        Pool size.  Workers are spawned (never forked: the daemon is heavily
+        threaded and fork would inherit locks in unknown states).
+    poll_interval_s:
+        Cadence of the cooperative ``should_abandon`` poll while waiting on
+        a worker future.
+    """
+
+    name = "process"
+
+    def __init__(self, service: SolveService, *, num_workers: int = 2,
+                 poll_interval_s: float = 0.05) -> None:
+        self.service = service
+        self.num_workers = max(1, int(num_workers))
+        self.poll_interval_s = float(poll_interval_s)
+        cache = service.cache
+        self._cache_dir = cache.cache_dir if cache is not None else None
+        self._cache_entries = cache.max_entries if cache is not None else 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._worker_stats: Dict[int, dict] = {}
+        self._tasks_shipped = 0
+        self._local_fallbacks = 0
+        self._crashes = 0
+        self._pool_rebuilds = 0
+
+    # ------------------------------ lifecycle ------------------------- #
+    def start(self) -> "ProcessBackend":
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._new_pool()
+        # Best-effort warmup: pay the interpreter+numpy+scipy import cost
+        # now, not inside the first request's latency.
+        pool = self._pool
+        try:
+            for future in [pool.submit(_worker_ping)
+                           for _ in range(self.num_workers)]:
+                future.result(timeout=60)
+        except Exception:  # pragma: no cover - warmup is advisory
+            pass
+        return self
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(self._cache_dir, self._cache_entries),
+        )
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def worker_pids(self, timeout: float = 60.0) -> List[int]:
+        """Pids of (a sample of) live workers -- the crash test's handle."""
+        pool = self._require_pool()
+        futures = [pool.submit(_worker_ping) for _ in range(self.num_workers)]
+        return sorted({f.result(timeout=timeout) for f in futures})
+
+    def _require_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._new_pool()
+            return self._pool
+
+    # ------------------------------ execution ------------------------- #
+    def run(self, work: Work, should_abandon: Callable[[], bool]):
+        if isinstance(work, (ExecuteWork, ParetoWork)):
+            # No result wire format for these kinds (reports carry live
+            # tensors / frontier objects); run them on the parent service.
+            with self._stats_lock:
+                self._local_fallbacks += 1
+            return ThreadBackend(self.service).run(work, should_abandon)
+        if isinstance(work, SolveWork):
+            cached = self._cache_lookup(work)
+            if cached is not None:
+                return cached
+        payload = self._encode(work)
+        response = self._ship(payload, should_abandon)
+        self._graft_trace(response)
+        if not response["ok"]:
+            error = response["error"]
+            if error["type"] == "SolveCancelledError":
+                raise SolveCancelledError(error["message"])
+            raise RemoteSolveError(error)
+        if isinstance(work, SweepWork):
+            return [result_from_wire(r, work.graph) for r in response["result"]]
+        result = result_from_wire(response["result"], work.graph)
+        self._cache_store(work, result)
+        return result
+
+    def _encode(self, work: Work) -> dict:
+        tracer = get_tracer()
+        payload: dict = {
+            "graph": graph_to_wire(work.graph),
+            "options": (options_to_wire(work.options)
+                        if work.options is not None else None),
+            "trace": bool(tracer.enabled
+                          and tracer.current_trace_id() is not None),
+        }
+        if isinstance(work, SweepWork):
+            payload["kind"] = "sweep"
+            payload["cells"] = [
+                {"strategy": c.strategy, "budget": c.budget,
+                 "options": (options_to_wire(c.options)
+                             if c.options is not None else None)}
+                for c in work.cells]
+        else:
+            payload["kind"] = "solve"
+            payload["strategy"] = work.strategy
+            payload["budget"] = work.budget
+        return payload
+
+    def _ship(self, payload: dict, should_abandon: Callable[[], bool]) -> dict:
+        if should_abandon():
+            raise SolveCancelledError("flight abandoned before dispatch")
+        pool = self._require_pool()
+        try:
+            future = pool.submit(_run_task, payload)
+        except BrokenProcessPool as exc:
+            raise self._reap(pool, exc) from None
+        with self._stats_lock:
+            self._tasks_shipped += 1
+        while True:
+            try:
+                response = future.result(timeout=self.poll_interval_s)
+            except _FutureTimeout:
+                if should_abandon():
+                    if future.cancel():
+                        # Never started: nothing to wait for.
+                        raise SolveCancelledError(
+                            "flight abandoned while queued for a worker")
+                    # Already running in the worker: let it finish (it still
+                    # populates the shared disk cache), then discard.
+                    try:
+                        response = future.result()
+                    except BrokenProcessPool as exc:
+                        raise self._reap(pool, exc) from None
+                    self._harvest_stats(response)
+                    raise SolveCancelledError(
+                        "flight abandoned while running in a worker")
+                continue
+            except BrokenProcessPool as exc:
+                raise self._reap(pool, exc) from None
+            except Exception:
+                # concurrent.futures re-raises whatever the task raised;
+                # _run_task never raises, so anything here is transport-level.
+                raise
+            self._harvest_stats(response)
+            return response
+
+    def _reap(self, broken_pool: ProcessPoolExecutor,
+              exc: BaseException) -> WorkerCrashError:
+        """Tear down a broken pool and stand up a fresh one (the reap path).
+
+        Only the flight whose worker died fails; the queue keeps draining
+        into the rebuilt pool.  Concurrent harvesters racing into this
+        method rebuild once: the lock plus the identity check make the
+        second caller a no-op.
+        """
+        with self._pool_lock:
+            if self._pool is broken_pool:
+                self._pool = None
+                try:
+                    broken_pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - already broken
+                    pass
+                self._pool_rebuilds += 1
+        with self._stats_lock:
+            self._crashes += 1
+        _log.error("worker process crashed; pool rebuilt: %s", exc)
+        return WorkerCrashError(
+            f"worker process died mid-flight ({exc}); pool rebuilt",
+            info={"exception": type(exc).__name__})
+
+    # ------------------------------ cache tiers ----------------------- #
+    def _cache_key(self, work: SolveWork):
+        from ..service import PlanCacheKey, graph_content_hash
+
+        service = self.service
+        if service.cache is None:
+            return None, None
+        spec = service.registry.get(work.strategy)
+        options = (work.options if work.options is not None
+                   else service.default_options)
+        graph_hash = graph_content_hash(work.graph)
+        token = options.cache_token(spec.option_map)
+        key = PlanCacheKey.build(graph_hash, spec.key, work.budget, token)
+        family = "|".join((graph_hash, spec.key, token))
+        return key, family
+
+    def _cache_lookup(self, work: SolveWork):
+        key, _ = self._cache_key(work)
+        if key is None:
+            return None
+        cached = self.service.cache.get(key, work.graph)
+        if cached is not None:
+            self.service.stats.record(solver_call=False, cache_hit=True)
+        return cached
+
+    def _cache_store(self, work: SolveWork, result) -> None:
+        key, family = self._cache_key(work)
+        if key is None:
+            return
+        from ..service.solve import _cacheable
+
+        if _cacheable(result):
+            self.service.cache.put(key, result, family=family,
+                                   budget=work.budget)
+
+    # ------------------------------ observability --------------------- #
+    def _harvest_stats(self, response: dict) -> None:
+        pid = response.get("pid")
+        stats = response.get("stats")
+        if pid is None:
+            return
+        with self._stats_lock:
+            if stats is not None:
+                self._worker_stats[pid] = stats
+            # Bound the per-pid map: drop oldest entries past 4x the pool
+            # size (crashed workers leave their last snapshot behind).
+            while len(self._worker_stats) > 4 * self.num_workers:
+                self._worker_stats.pop(next(iter(self._worker_stats)))
+
+    def _graft_trace(self, response: dict) -> None:
+        rows = response.get("spans")
+        if not rows:
+            return
+        tracer = get_tracer()
+        ctx = tracer.current_context()
+        if ctx is None or not tracer.enabled:
+            return
+        trace_id, parent_id = ctx
+        # Rebase the worker's perf_counter() clock onto the parent's: both
+        # sides stamp a (wall, perf) anchor pair, and wall clocks are shared
+        # across processes on one host.
+        now_perf = time.perf_counter()
+        now_wall = time.time()
+        offset = ((response["wall_anchor"] - response["perf_anchor"])
+                  + (now_perf - now_wall))
+        tracer.graft_rows(rows, trace_id, parent_id=parent_id,
+                          offset_s=offset)
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            workers = {str(pid): dict(s)
+                       for pid, s in self._worker_stats.items()}
+            aggregate = {
+                "solver_calls": sum(s.get("solver_calls", 0)
+                                    for s in self._worker_stats.values()),
+                "cache_hits": sum(s.get("cache_hits", 0)
+                                  for s in self._worker_stats.values()),
+                "disk_hits": sum(s.get("disk_hits", 0)
+                                 for s in self._worker_stats.values()),
+            }
+            return {
+                "name": self.name,
+                "pool_size": self.num_workers,
+                "tasks_shipped": self._tasks_shipped,
+                "local_fallbacks": self._local_fallbacks,
+                "crashes": self._crashes,
+                "pool_rebuilds": self._pool_rebuilds,
+                "worker_totals": aggregate,
+                "workers": workers,
+            }
+
+
+class RemoteSolveError(RuntimeError):
+    """A worker-side exception, rebuilt from its structured wire payload."""
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(f"{error.get('type', 'Error')}: "
+                         f"{error.get('message', '')}")
+        self.info = dict(error, type=error.get("type", "Error"))
+
+
+def make_backend(name: str, service: SolveService, *,
+                 num_workers: int = 2) -> WorkerBackend:
+    """Resolve a backend by CLI name (``thread`` or ``process``)."""
+    if name == "thread":
+        return ThreadBackend(service)
+    if name == "process":
+        return ProcessBackend(service, num_workers=num_workers)
+    raise ValueError(f"unknown worker backend {name!r}; "
+                     "use 'thread' or 'process'")

@@ -14,6 +14,7 @@ original :class:`~repro.core.dfgraph.DFGraph` can re-materialize a full
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -26,20 +27,45 @@ __all__ = ["ServeClient", "ServeAPIError"]
 
 
 class ServeAPIError(RuntimeError):
-    """A non-2xx response from the server, carrying its status and message."""
+    """A non-2xx response from the server, carrying its status and message.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header in seconds (503
+    load shedding), or ``None`` when the server did not send one.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+
+#: Statuses worth retrying: 503 is the daemon's admission-control shed.
+_RETRY_STATUSES = frozenset({503})
 
 
 class ServeClient:
-    """Client for one solve server, e.g. ``ServeClient("http://127.0.0.1:8765")``."""
+    """Client for one solve server, e.g. ``ServeClient("http://127.0.0.1:8765")``.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    Shed requests (503 + ``Retry-After``) are retried up to ``max_retries``
+    times with jittered exponential backoff; the server's ``Retry-After``
+    hint, when present, overrides the computed backoff.  Jitter matters:
+    the shed responses of an overloaded daemon arrive nearly simultaneously
+    at every client, and un-jittered retries would come back as the same
+    thundering herd that caused the shed.  Set ``max_retries=0`` to surface
+    every 503 immediately.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 max_retries: int = 2, backoff_s: float = 0.25,
+                 backoff_cap_s: float = 8.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._rng = random.Random()
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -50,6 +76,33 @@ class ServeClient:
 
     def _request_raw(self, method: str, path: str,
                      payload: Optional[dict] = None) -> str:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServeAPIError as exc:
+                if (exc.status not in _RETRY_STATUSES
+                        or attempt >= self.max_retries):
+                    raise
+                self._sleep(self._retry_delay(attempt, exc.retry_after))
+                attempt += 1
+
+    def _retry_delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Full-jitter exponential backoff, bounded by the server's hint."""
+        cap = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+        delay = self._rng.uniform(cap / 2, cap)
+        if retry_after is not None:
+            # The server knows its own drain rate: wait at least that long
+            # (plus our jitter fraction so herds still spread out).
+            delay = max(delay, float(retry_after) * self._rng.uniform(1.0, 1.25))
+        return delay
+
+    @staticmethod
+    def _sleep(delay: float) -> None:  # patchable in tests
+        time.sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> str:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -66,7 +119,14 @@ class ServeClient:
                 message = json.loads(exc.read().decode("utf-8")).get("error", "")
             except (ValueError, OSError):
                 message = exc.reason
-            raise ServeAPIError(exc.code, str(message)) from None
+            retry_after = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    retry_after = None
+            raise ServeAPIError(exc.code, str(message), retry_after) from None
         except urllib.error.URLError as exc:
             raise ServeAPIError(0, f"cannot reach {url}: {exc.reason}") from None
 
@@ -107,13 +167,16 @@ class ServeClient:
                      cost_model: Optional[str] = None,
                      budget: Optional[float] = None,
                      options: Optional[dict] = None,
-                     priority: int = 0) -> dict:
+                     priority: int = 0,
+                     deadline_s: Optional[float] = None) -> dict:
         """``POST /v1/solve``: returns the job handle dict (id, state, urls)."""
         payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
         payload.update({"strategy": strategy, "budget": budget,
                         "priority": priority})
         if options:
             payload["options"] = options
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/solve", payload)
 
     def submit_execute(self, *, strategy: str,
@@ -125,13 +188,16 @@ class ServeClient:
                        budget: Optional[float] = None,
                        options: Optional[dict] = None,
                        seed: int = 0,
-                       priority: int = 0) -> dict:
+                       priority: int = 0,
+                       deadline_s: Optional[float] = None) -> dict:
         """``POST /v1/execute``: solve + run over NumPy tensors; job handle dict."""
         payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
         payload.update({"strategy": strategy, "budget": budget,
                         "seed": seed, "priority": priority})
         if options:
             payload["options"] = options
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/execute", payload)
 
     def submit_sweep(self, *,
@@ -144,7 +210,8 @@ class ServeClient:
                      budgets: Optional[Iterable[Optional[float]]] = None,
                      cells: Optional[Iterable[Union[dict, Tuple[str, Optional[float]]]]] = None,
                      options: Optional[dict] = None,
-                     priority: int = 0) -> dict:
+                     priority: int = 0,
+                     deadline_s: Optional[float] = None) -> dict:
         """``POST /v1/sweep``: grid (strategies x budgets) or explicit cells."""
         payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
         if cells is not None:
@@ -160,6 +227,8 @@ class ServeClient:
         payload["priority"] = priority
         if options:
             payload["options"] = options
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/sweep", payload)
 
     def submit_pareto(self, *, strategy: str = "checkmate_ilp",
@@ -172,7 +241,8 @@ class ServeClient:
                       high: Optional[float] = None,
                       resolution: Optional[float] = None,
                       options: Optional[dict] = None,
-                      priority: int = 0) -> dict:
+                      priority: int = 0,
+                      deadline_s: Optional[float] = None) -> dict:
         """``POST /v1/pareto``: bisection frontier trace; job handle dict."""
         payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
         payload.update({"strategy": strategy, "priority": priority})
@@ -184,6 +254,8 @@ class ServeClient:
             payload["resolution"] = resolution
         if options:
             payload["options"] = options
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/pareto", payload)
 
     @staticmethod

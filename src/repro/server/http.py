@@ -48,7 +48,7 @@ from ..obs.metrics import flatten_numeric, get_metrics_registry
 from ..obs.trace import chrome_trace, get_tracer, span_tree
 from ..service import SolveService, SolverOptions, SweepCell
 from ..utils.serialization import graph_from_wire, result_to_wire
-from .jobs import Job, JobQueue, JobState
+from .jobs import Job, JobQueue, JobState, QueueFullError
 
 __all__ = ["SolveServer", "DEFAULT_PORT", "serve"]
 
@@ -63,12 +63,42 @@ _OPTION_FIELDS = frozenset(SolverOptions.__dataclass_fields__)
 
 
 class ApiError(Exception):
-    """An error with an HTTP status, rendered as a JSON body."""
+    """An error with an HTTP status, rendered as a JSON body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` are extra response headers (e.g. ``Retry-After`` on a 503)
+    and ``extra`` is merged into the JSON error body.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 headers: Optional[dict] = None,
+                 extra: Optional[dict] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
+        self.extra = dict(extra or {})
+
+
+def _queue_full(exc: QueueFullError) -> ApiError:
+    """Map admission-control rejection onto the 503 shed contract."""
+    import math
+
+    retry_after = max(1, math.ceil(exc.retry_after_s))
+    return ApiError(503, str(exc),
+                    headers={"Retry-After": str(retry_after)},
+                    extra={"retry_after_s": exc.retry_after_s,
+                           "queue_depth": exc.depth,
+                           "max_queue_depth": exc.limit})
+
+
+def _parse_deadline(payload: dict) -> Optional[float]:
+    value = payload.get("deadline_s")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value <= 0:
+        raise ApiError(400, "'deadline_s' must be a positive number of seconds")
+    return float(value)
 
 
 def _parse_options(payload: Optional[dict]) -> Optional[SolverOptions]:
@@ -152,11 +182,15 @@ class _App:
         priority = payload.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
             raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        deadline_s = _parse_deadline(payload)
         try:
             job = self.queue.submit_solve(graph, strategy, budget, options,
-                                          priority=priority)
+                                          priority=priority,
+                                          deadline_s=deadline_s)
         except KeyError as exc:
             raise ApiError(404, str(exc.args[0])) from None
+        except QueueFullError as exc:
+            raise _queue_full(exc) from None
         return 202, self._job_accepted(job)
 
     def post_execute(self, payload: dict) -> Tuple[int, dict]:
@@ -186,11 +220,15 @@ class _App:
         priority = payload.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
             raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        deadline_s = _parse_deadline(payload)
         try:
             job = self.queue.submit_execute(graph, strategy, budget, options,
-                                            seed=seed, priority=priority)
+                                            seed=seed, priority=priority,
+                                            deadline_s=deadline_s)
         except KeyError as exc:
             raise ApiError(404, str(exc.args[0])) from None
+        except QueueFullError as exc:
+            raise _queue_full(exc) from None
         return 202, self._job_accepted(job)
 
     def post_sweep(self, payload: dict) -> Tuple[int, dict]:
@@ -221,11 +259,15 @@ class _App:
                      for s in strategies for b in budgets]
         else:
             raise ApiError(400, "provide 'cells' or 'strategies' (+ 'budgets')")
+        deadline_s = _parse_deadline(payload)
         try:
             job = self.queue.submit_sweep(graph, cells, options,
-                                          priority=priority)
+                                          priority=priority,
+                                          deadline_s=deadline_s)
         except KeyError as exc:
             raise ApiError(404, str(exc.args[0])) from None
+        except QueueFullError as exc:
+            raise _queue_full(exc) from None
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
         return 202, self._job_accepted(job)
@@ -255,12 +297,16 @@ class _App:
         priority = payload.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
             raise ApiError(400, "'priority' must be an integer (lower runs first)")
+        deadline_s = _parse_deadline(payload)
         try:
             job = self.queue.submit_pareto(graph, strategy, low=low, high=high,
                                            resolution=resolution, options=options,
-                                           priority=priority)
+                                           priority=priority,
+                                           deadline_s=deadline_s)
         except KeyError as exc:
             raise ApiError(404, str(exc.args[0])) from None
+        except QueueFullError as exc:
+            raise _queue_full(exc) from None
         except ValueError as exc:
             raise ApiError(400, str(exc)) from None
         return 202, self._job_accepted(job)
@@ -325,8 +371,10 @@ class _App:
         return 200, {
             "status": "ok",
             "uptime_s": metrics["uptime_s"],
+            "backend": self.queue.backend.name,
             "workers": metrics["workers"],
             "queue_depth": metrics["queue_depth"],
+            "max_queue_depth": metrics["max_queue_depth"],
             "running": metrics["running"],
         }
 
@@ -445,7 +493,8 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------ #
-    def _send(self, status: int, body) -> None:
+    def _send(self, status: int, body,
+              headers: Optional[dict] = None) -> None:
         # Routes return a dict (JSON) or a str (preformatted text body --
         # the Prometheus exposition).
         if isinstance(body, str):
@@ -457,6 +506,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(data)
 
@@ -478,13 +529,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_consumed = False
         path = self.path.partition("?")[0].rstrip("/") or "/"
         route = _ROUTE_LABEL.sub("/{id}", path)
+        extra_headers: Optional[dict] = None
         try:
             with get_tracer().span("http-request", method=method,
                                    route=route) as span:
                 try:
                     status, body = self._route(method)
                 except ApiError as exc:
-                    status, body = exc.status, {"error": exc.message}
+                    status, body = exc.status, dict({"error": exc.message},
+                                                    **exc.extra)
+                    extra_headers = exc.headers or None
                 except Exception as exc:  # noqa: BLE001 - request isolation boundary
                     _log.error("unhandled error in %s %s: %s: %s",
                                method, path, type(exc).__name__, exc,
@@ -493,7 +547,7 @@ class _Handler(BaseHTTPRequestHandler):
                 span.set_attribute("status", status)
             _HTTP_REQUESTS.inc(method=method, route=route, code=str(status))
             self._drain_body()
-            self._send(status, body)
+            self._send(status, body, extra_headers)
         except (TimeoutError, OSError) as exc:
             # Stalled or vanished client: the stream is unusable (a partial
             # body read would corrupt keep-alive framing) -- drop it.
@@ -588,6 +642,9 @@ class SolveServer:
                  service: Optional[SolveService] = None,
                  queue: Optional[JobQueue] = None,
                  num_workers: Optional[int] = None,
+                 backend: str = "thread",
+                 max_queue_depth: Optional[int] = None,
+                 default_deadline_s: Optional[float] = None,
                  verbose: bool = False,
                  tracing: bool = False) -> None:
         # Bridge finished spans into the per-phase latency histograms so the
@@ -598,7 +655,9 @@ class SolveServer:
         if tracing:
             get_tracer().enable()
         self.queue = queue if queue is not None else JobQueue(
-            service, num_workers=num_workers)
+            service, num_workers=num_workers, backend=backend,
+            max_queue_depth=max_queue_depth,
+            default_deadline_s=default_deadline_s)
         self.app = _App(self.queue)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.app = self.app  # type: ignore[attr-defined]
@@ -667,8 +726,13 @@ class SolveServer:
 def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           service: Optional[SolveService] = None,
           num_workers: Optional[int] = None,
+          backend: str = "thread",
+          max_queue_depth: Optional[int] = None,
+          default_deadline_s: Optional[float] = None,
           verbose: bool = False,
           tracing: bool = False) -> SolveServer:
     """Build and start a :class:`SolveServer` (background thread); returns it."""
     return SolveServer(host, port, service=service, num_workers=num_workers,
+                       backend=backend, max_queue_depth=max_queue_depth,
+                       default_deadline_s=default_deadline_s,
                        verbose=verbose, tracing=tracing).start()

@@ -46,7 +46,6 @@ import os
 import threading
 import time
 import uuid
-from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -61,9 +60,19 @@ from ..service import (
     SweepCell,
     graph_content_hash,
 )
+from .backends import (
+    ExecuteWork,
+    ParetoWork,
+    RemoteSolveError,
+    SolveWork,
+    SweepWork,
+    WorkerBackend,
+    WorkerCrashError,
+    make_backend,
+)
 from .metrics import LatencyWindow
 
-__all__ = ["JobState", "Job", "JobQueue"]
+__all__ = ["JobState", "Job", "JobQueue", "QueueFullError"]
 
 _log = get_logger("server.jobs")
 
@@ -82,38 +91,27 @@ class JobState(str, Enum):
 TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
 
 
-@dataclass(frozen=True)
-class _SolveWork:
-    graph: DFGraph
-    strategy: str
-    budget: Optional[float]
-    options: Optional[SolverOptions]
+# Work descriptions live with the backends now (they are what a backend
+# executes); the old private names stay as aliases for continuity.
+_SolveWork = SolveWork
+_SweepWork = SweepWork
+_ExecuteWork = ExecuteWork
+_ParetoWork = ParetoWork
 
 
-@dataclass(frozen=True)
-class _SweepWork:
-    graph: DFGraph
-    cells: Tuple[SweepCell, ...]
-    options: Optional[SolverOptions]
+class QueueFullError(RuntimeError):
+    """Admission control rejected a submission: the queue is at its bounded
+    depth.  Carries the shed contract: ``retry_after_s`` is the server's
+    estimate of when capacity frees up (the HTTP layer turns it into a 503
+    with a ``Retry-After`` header)."""
 
-
-@dataclass(frozen=True)
-class _ExecuteWork:
-    graph: DFGraph
-    strategy: str
-    budget: Optional[float]
-    options: Optional[SolverOptions]
-    seed: int
-
-
-@dataclass(frozen=True)
-class _ParetoWork:
-    graph: DFGraph
-    strategy: str
-    low: Optional[float]
-    high: Optional[float]
-    resolution: Optional[float]
-    options: Optional[SolverOptions]
+    def __init__(self, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"queue full: {depth} flights queued (limit {limit}); "
+            f"retry in ~{retry_after_s:.0f}s")
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 
 class Job:
@@ -141,7 +139,14 @@ class Job:
         self.deduplicated = False
         self.result: object = None
         self.error: Optional[str] = None
+        #: Structured failure payload (worker crash, deadline, remote
+        #: exception): ``{"type": ..., "message": ..., ...}``; ``None`` for
+        #: successful jobs and plain string-only errors.
+        self.error_info: Optional[Dict[str, object]] = None
         self.submitted_at = time.time()
+        #: Absolute wall-clock deadline; the job fails with a structured
+        #: ``deadline-exceeded`` error if still queued or running past it.
+        self.deadline_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         #: Trace id of the flight this job rode (None when tracing is off);
@@ -167,6 +172,8 @@ class Job:
             "deduplicated": self.deduplicated,
             "graph_hash": self.graph_hash,
             "error": self.error,
+            "error_info": self.error_info,
+            "deadline_at": self.deadline_at,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -186,7 +193,7 @@ class Job:
 class _FlightGroup:
     """All jobs sharing one solver invocation (the single-flight unit)."""
 
-    def __init__(self, key: str, work: Union[_SolveWork, _SweepWork]) -> None:
+    def __init__(self, key: str, work) -> None:
         self.key = key
         self.work = work
         self.members: List[Job] = []
@@ -217,17 +224,47 @@ class JobQueue:
         in flight at once; queued work beyond that waits in priority order.
     max_history:
         Retained terminal jobs.  Active jobs are never pruned.
+    backend:
+        Flight execution engine: ``"thread"`` (in-process, the default),
+        ``"process"`` (ship solves to a spawn-based worker-process pool) or
+        a ready :class:`~repro.server.backends.WorkerBackend` instance.
+        With the process backend the queue still runs ``num_workers``
+        harvesting threads, each blocking on one worker-process future, so
+        concurrency is bounded identically either way.
+    max_queue_depth:
+        Admission control: maximum number of *flights* (distinct cells)
+        allowed to wait in the queue.  Submissions beyond it raise
+        :class:`QueueFullError` (the HTTP layer sheds them with 503 +
+        ``Retry-After``).  Joiners of an existing flight are never shed --
+        dedup'd work costs nothing.  ``None`` (default) disables shedding.
+    default_deadline_s:
+        Deadline applied to submissions that do not carry their own.
     """
 
     def __init__(self, service: Optional[SolveService] = None, *,
                  num_workers: Optional[int] = None,
                  max_history: int = 4096,
-                 latency_window: int = 1024) -> None:
+                 latency_window: int = 1024,
+                 backend: Union[str, WorkerBackend] = "thread",
+                 max_queue_depth: Optional[int] = None,
+                 default_deadline_s: Optional[float] = None) -> None:
         self.service = service if service is not None else SolveService()
         self.num_workers = int(num_workers if num_workers is not None
                                else min(4, os.cpu_count() or 1))
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if isinstance(backend, str):
+            backend = make_backend(backend, self.service,
+                                   num_workers=self.num_workers)
+        self.backend: WorkerBackend = backend
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        self.max_queue_depth = (None if max_queue_depth is None
+                                else int(max_queue_depth))
+        if default_deadline_s is not None and float(default_deadline_s) <= 0:
+            raise ValueError("default_deadline_s must be positive (or None)")
+        self.default_deadline_s = (None if default_deadline_s is None
+                                   else float(default_deadline_s))
         self.max_history = int(max_history)
         self.latency = LatencyWindow(maxlen=latency_window)
         # Pareto traces are whole-frontier jobs (many solves each); tracking
@@ -245,13 +282,15 @@ class JobQueue:
         self._workers: List[threading.Thread] = []
         self._shutdown = False
         self._counters = {"submitted": 0, "deduplicated": 0, "done": 0,
-                          "failed": 0, "cancelled": 0}
+                          "failed": 0, "cancelled": 0, "shed": 0,
+                          "expired": 0}
 
     # ------------------------------------------------------------------ #
     # Worker pool lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "JobQueue":
-        """Spin up the worker pool (idempotent)."""
+        """Spin up the backend and the worker pool (idempotent)."""
+        self.backend.start()
         with self._cond:
             if self._workers:
                 return self
@@ -285,6 +324,7 @@ class JobQueue:
             for t in self._workers:
                 t.join()
         self._workers = []
+        self.backend.shutdown(wait=wait)
 
     def __enter__(self) -> "JobQueue":
         return self.start()
@@ -299,6 +339,7 @@ class JobQueue:
                      budget: Optional[float] = None,
                      options: Optional[SolverOptions] = None, *,
                      priority: int = 0,
+                     deadline_s: Optional[float] = None,
                      description: Optional[str] = None) -> Job:
         """Enqueue one (graph, strategy, budget, options) solve.
 
@@ -314,13 +355,15 @@ class JobQueue:
         budget_txt = "none" if budget is None else f"{budget:g}"
         description = description or (
             f"solve {graph.name} strategy={spec.key} budget={budget_txt}")
-        work = _SolveWork(graph, spec.key, budget, options)
-        return self._submit("solve", key, work, priority, description, graph_hash)
+        work = SolveWork(graph, spec.key, budget, options)
+        return self._submit("solve", key, work, priority, description,
+                            graph_hash, deadline_s)
 
     def submit_sweep(self, graph: DFGraph,
                      cells: Iterable[Union[SweepCell, Tuple[str, Optional[float]]]],
                      options: Optional[SolverOptions] = None, *,
                      priority: int = 0,
+                     deadline_s: Optional[float] = None,
                      description: Optional[str] = None) -> Job:
         """Enqueue a sweep over many (strategy, budget) cells as one job.
 
@@ -350,14 +393,16 @@ class JobQueue:
         key = "sweep/" + digest.hexdigest()
         description = description or (
             f"sweep {graph.name} cells={len(normalized)}")
-        work = _SweepWork(graph, tuple(normalized), options)
-        return self._submit("sweep", key, work, priority, description, graph_hash)
+        work = SweepWork(graph, tuple(normalized), options)
+        return self._submit("sweep", key, work, priority, description,
+                            graph_hash, deadline_s)
 
     def submit_execute(self, graph: DFGraph, strategy: str,
                        budget: Optional[float] = None,
                        options: Optional[SolverOptions] = None, *,
                        seed: int = 0,
                        priority: int = 0,
+                       deadline_s: Optional[float] = None,
                        description: Optional[str] = None) -> Job:
         """Enqueue a solve-and-execute job (NumPy execution + cross-check).
 
@@ -376,8 +421,9 @@ class JobQueue:
         budget_txt = "none" if budget is None else f"{budget:g}"
         description = description or (
             f"execute {graph.name} strategy={spec.key} budget={budget_txt} seed={seed}")
-        work = _ExecuteWork(graph, spec.key, budget, options, int(seed))
-        return self._submit("execute", key, work, priority, description, graph_hash)
+        work = ExecuteWork(graph, spec.key, budget, options, int(seed))
+        return self._submit("execute", key, work, priority, description,
+                            graph_hash, deadline_s)
 
     def submit_pareto(self, graph: DFGraph, strategy: str = "checkmate_ilp", *,
                       low: Optional[float] = None,
@@ -385,6 +431,7 @@ class JobQueue:
                       resolution: Optional[float] = None,
                       options: Optional[SolverOptions] = None,
                       priority: int = 0,
+                      deadline_s: Optional[float] = None,
                       description: Optional[str] = None) -> Job:
         """Enqueue a bisection Pareto-frontier trace as one job.
 
@@ -410,12 +457,20 @@ class JobQueue:
         key = "pareto/" + digest.hexdigest()
         description = description or (
             f"pareto {graph.name} strategy={spec.key}")
-        work = _ParetoWork(graph, spec.key, low, high, resolution, options)
-        return self._submit("pareto", key, work, priority, description, graph_hash)
+        work = ParetoWork(graph, spec.key, low, high, resolution, options)
+        return self._submit("pareto", key, work, priority, description,
+                            graph_hash, deadline_s)
 
     def _submit(self, kind: str, key: str, work, priority: int,
-                description: str, graph_hash: str) -> Job:
+                description: str, graph_hash: str,
+                deadline_s: Optional[float] = None) -> Job:
         job = Job(kind, description, priority, key, graph_hash)
+        deadline_s = (deadline_s if deadline_s is not None
+                      else self.default_deadline_s)
+        if deadline_s is not None:
+            if float(deadline_s) <= 0:
+                raise ValueError("deadline_s must be positive")
+            job.deadline_at = job.submitted_at + float(deadline_s)
         tracer = get_tracer()
         ctx = tracer.current_context() if tracer.enabled else None
         with self._cond:
@@ -423,6 +478,14 @@ class JobQueue:
                 raise RuntimeError("job queue is shut down")
             self._counters["submitted"] += 1
             flight = self._flights.get(key)
+            if ((flight is None or flight.finished)
+                    and self.max_queue_depth is not None
+                    and len(self._heap) >= self.max_queue_depth):
+                # Admission control: only *new* flights are shed (a joiner
+                # rides an already-admitted solver invocation for free).
+                self._counters["shed"] += 1
+                raise QueueFullError(len(self._heap), self.max_queue_depth,
+                                     self._retry_after_locked())
             if flight is not None and not flight.finished:
                 # Single-flight: ride the existing solver invocation.  The
                 # follower inherits the flight's trace -- one execution, one
@@ -451,6 +514,14 @@ class JobQueue:
             self._jobs[job.id] = job
             self._prune_locked()
         return job
+
+    def _retry_after_locked(self) -> float:
+        """Estimate seconds until a queue slot frees: depth drains at about
+        one flight per worker per median solve latency."""
+        snapshot = self.latency.snapshot()
+        p50 = snapshot.get("p50_s") or 1.0
+        estimate = p50 * (len(self._heap) + 1) / max(self.num_workers, 1)
+        return min(max(estimate, 1.0), 30.0)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -496,11 +567,13 @@ class JobQueue:
             "workers": workers,
             "queue_depth": by_state[JobState.QUEUED.value],
             "running": by_state[JobState.RUNNING.value],
+            "max_queue_depth": self.max_queue_depth,
             "jobs_by_state": by_state,
             "jobs": counters,
             "solve_latency": self.latency.snapshot(),
             "pareto_latency": self.pareto_latency.snapshot(),
             "service": self.service.statistics(),
+            "backend": self.backend.stats(),
         }
 
     # ------------------------------------------------------------------ #
@@ -514,9 +587,16 @@ class JobQueue:
                 if not self._heap:
                     return  # shutdown and fully drained
                 _, _, flight = heapq.heappop(self._heap)
+                # Deadline check at pop: work that waited past its deadline
+                # fails *before* costing solver time (the load-shedding
+                # contract -- a late answer nobody waits for is wasted work).
+                now = time.time()
+                for job in flight.live_members():
+                    if job.deadline_at is not None and now >= job.deadline_at:
+                        self._expire_job_locked(job, now)
                 live = flight.live_members()
                 if not live:
-                    # Everyone cancelled while queued: never run the solver.
+                    # Everyone cancelled/expired while queued: never run.
                     flight.finished = True
                     if self._flights.get(flight.key) is flight:
                         del self._flights[flight.key]
@@ -539,6 +619,12 @@ class JobQueue:
                     "flight_key": flight.key, "trace_id": flight.trace_id,
                     "jobs": [j.id for j in flight.members]})
                 self._finish_flight(flight, JobState.CANCELLED, error=str(exc))
+            except (WorkerCrashError, RemoteSolveError) as exc:
+                _log.error("job flight failed in worker: %s", exc, extra={
+                    "flight_key": flight.key, "trace_id": flight.trace_id,
+                    "jobs": [j.id for j in flight.members]})
+                self._finish_flight(flight, JobState.FAILED, error=str(exc),
+                                    error_info=exc.info)
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 _log.error("job flight failed: %s: %s",
                            type(exc).__name__, exc, exc_info=True, extra={
@@ -549,7 +635,7 @@ class JobQueue:
                                     error=f"{type(exc).__name__}: {exc}")
             else:
                 window = (self.pareto_latency
-                          if isinstance(flight.work, _ParetoWork) else self.latency)
+                          if isinstance(flight.work, ParetoWork) else self.latency)
                 window.record(time.monotonic() - t_start)
                 self._finish_flight(flight, JobState.DONE, result=result)
 
@@ -559,32 +645,43 @@ class JobQueue:
             return self._execute(flight)
         with tracer.context(flight.trace_id, flight.trace_parent):
             with tracer.span("job-run", kind=flight.members[0].kind,
-                             flight_key=flight.key):
+                             flight_key=flight.key,
+                             backend=self.backend.name):
                 return self._execute(flight)
 
     def _execute(self, flight: _FlightGroup):
         def abandoned() -> bool:
-            return not any(j.state == JobState.RUNNING for j in flight.members)
+            # Polled by the backend while the flight runs.  Expire members
+            # whose deadline passed mid-run before taking the verdict: a
+            # flight every live member of which is past deadline (or
+            # cancelled) has nobody left to deliver to.
+            now = time.time()
+            with self._cond:
+                for job in flight.members:
+                    if (job.state is JobState.RUNNING
+                            and job.deadline_at is not None
+                            and now >= job.deadline_at):
+                        self._expire_job_locked(job, now)
+                return not any(j.state == JobState.RUNNING
+                               for j in flight.members)
 
-        work = flight.work
-        if isinstance(work, _SolveWork):
-            return self.service.solve(work.graph, work.strategy, work.budget,
-                                      work.options, should_cancel=abandoned)
-        if isinstance(work, _ExecuteWork):
-            return self.service.execute(work.graph, work.strategy, work.budget,
-                                        work.options, seed=work.seed,
-                                        should_cancel=abandoned)
-        if isinstance(work, _ParetoWork):
-            return self.service.pareto(work.graph, work.strategy,
-                                       low=work.low, high=work.high,
-                                       resolution=work.resolution,
-                                       options=work.options,
-                                       should_cancel=abandoned)
-        return self.service.sweep(work.graph, work.cells, options=work.options,
-                                  should_cancel=abandoned)
+        return self.backend.run(flight.work, abandoned)
+
+    def _expire_job_locked(self, job: Job, now: float) -> None:
+        waited = now - job.submitted_at
+        job.error_info = {
+            "type": "deadline-exceeded",
+            "deadline_at": job.deadline_at,
+            "waited_s": round(waited, 6),
+        }
+        self._counters["expired"] += 1
+        self._settle_job_locked(job, JobState.FAILED,
+                                error=f"deadline exceeded after "
+                                      f"{waited:.3f}s")
 
     def _finish_flight(self, flight: _FlightGroup, state: JobState, *,
-                       result=None, error: Optional[str] = None) -> None:
+                       result=None, error: Optional[str] = None,
+                       error_info: Optional[dict] = None) -> None:
         phases: Optional[Dict[str, float]] = None
         if flight.trace_id is not None:
             totals = get_tracer().store.phase_totals(flight.trace_id)
@@ -616,6 +713,8 @@ class JobQueue:
             for job in live:
                 job.result = result
                 job.phases = phases
+                if error_info is not None:
+                    job.error_info = dict(error_info)
                 self._settle_job_locked(job, state, error=error)
             self._prune_locked()
 

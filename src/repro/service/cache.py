@@ -242,6 +242,13 @@ class PlanCache:
             payload = result_to_wire(result)
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
+                # Flush + fsync before the rename: without it a crash can
+                # leave the *renamed* file empty on some filesystems, which
+                # is exactly the torn-read the temp-file dance exists to
+                # prevent.  (Readers still revalidate, so even that would
+                # degrade to a miss -- this just keeps the store honest.)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except (OSError, TypeError, ValueError, AttributeError):
             pass
