@@ -52,6 +52,22 @@ CI runs ``--pr6 --smoke --min-warm-speedup 1.5`` as the warm-vs-cold guard.
 
 CI runs ``--pr7 --smoke --max-trace-overhead 0.02`` to hold the enabled
 overhead under 2% on the warm sweep.
+
+``--pr9`` measures the graph-canonicalization payoff and writes
+``BENCH_PR9.json``:
+
+* **formulation shrink** -- ``CompiledFormulation`` variables/constraints/nnz
+  and compile time on the raw training graph vs the canonicalized one
+  (``optimize_graph``: DCE + zero-cost-chain fusion).
+* **solve equivalence** -- one exact-ILP solve of each at the same budget;
+  objectives must be *identical* (the decoded-schedule cross-checks inside
+  ``solve_canonicalized`` additionally prove the simulator peak matches).
+* **execution proof** -- on executable presets the decoded schedule is run
+  over real NumPy tensors and the :class:`ExecutionReport` must come back
+  ``ok`` with outputs bit-identical to checkpoint-all.
+
+CI runs ``--pr9 --smoke --min-nnz-reduction 0.05`` so the repeated-block
+preset keeps shrinking by at least 5% nnz.
 """
 
 from __future__ import annotations
@@ -84,6 +100,14 @@ PR6_PARETO_PRESET = "resnet_tiny"
 #: The trace-overhead (PR 7) benchmark preset: warm cache-hit cells are the
 #: instrumentation worst case, and the ISSUE's acceptance bar names this one.
 PR7_PRESETS = ("resnet_tiny",)
+
+#: Canonicalization (PR 9) benchmark set: three presets with zero-cost chains
+#: the fusion pass collapses (vgg16/vgg19 have a flatten, deepblock is the
+#: repeated-block showcase) plus linear_cnn as a no-change control.
+PR9_PRESETS = ("vgg16", "vgg19", "deepblock", "linear_cnn")
+PR9_SMOKE_PRESET = "deepblock"
+#: Presets whose decoded schedule is additionally executed over real tensors.
+PR9_EXEC_PRESETS = ("deepblock", "vgg16")
 
 #: Figure-5 strategies minus the exact MILP (see module docstring).
 DEFAULT_SWEEP_STRATEGIES = (
@@ -437,6 +461,122 @@ def trace_overhead_bench(preset: str, num_budgets: int, *,
     }
 
 
+def canonicalization_bench(preset: str, *, budget_fraction: float = 0.8,
+                           execute: bool = False) -> dict:
+    """Raw-vs-canonicalized formulation sizes and one equal-objective solve.
+
+    The budget sits at ``overhead + 0.8 * total activation memory`` -- tight
+    enough that the exact ILP has to checkpoint, loose enough that both
+    formulations close the gap quickly, so objective equality is a meaningful
+    byte-for-byte check rather than a trivial checkpoint-all tie.
+    """
+    from repro.analysis import optimize_graph
+    from repro.experiments.presets import build_training_graph
+    from repro.service import SolveService
+    from repro.solvers import CompiledFormulation
+
+    graph = build_training_graph(preset)
+    t0 = time.perf_counter()
+    opt = optimize_graph(graph)
+    optimize_s = time.perf_counter() - t0
+
+    raw_stats = CompiledFormulation(graph).stats
+    opt_stats = CompiledFormulation(opt.graph).stats
+
+    budget = float(int(graph.constant_overhead
+                       + budget_fraction * graph.total_activation_memory()))
+
+    raw_svc = SolveService()
+    t0 = time.perf_counter()
+    raw = raw_svc.solve(graph, "checkmate_ilp", budget)
+    raw_solve_s = time.perf_counter() - t0
+
+    canon_svc = SolveService()
+    t0 = time.perf_counter()
+    canon = canon_svc.solve_canonicalized(graph, "checkmate_ilp", budget)
+    canon_solve_s = time.perf_counter() - t0
+
+    out = {
+        "nodes_raw": graph.size,
+        "nodes_optimized": opt.graph.size,
+        "pass_stats": opt.stats,
+        "optimize_s": optimize_s,
+        "variables_raw": raw_stats["variables"],
+        "variables_optimized": opt_stats["variables"],
+        "variables_reduction": 1.0 - opt_stats["variables"] / raw_stats["variables"],
+        "nnz_raw": raw_stats["nnz"],
+        "nnz_optimized": opt_stats["nnz"],
+        "nnz_reduction": 1.0 - opt_stats["nnz"] / raw_stats["nnz"],
+        "compile_raw_s": raw_stats["compile_time_s"],
+        "compile_optimized_s": opt_stats["compile_time_s"],
+        "budget": budget,
+        "solve_raw_s": raw_solve_s,
+        "solve_canonicalized_s": canon_solve_s,
+        "objective_raw": raw.compute_cost,
+        "objective_canonicalized": canon.compute_cost,
+        # Byte-identical objectives: decoded schedules replay the fused
+        # members exactly when the fused node ran, so costs match exactly.
+        "objectives_identical": (raw.feasible == canon.feasible
+                                 and raw.compute_cost == canon.compute_cost),
+        "peak_raw": raw.peak_memory,
+        "peak_canonicalized": canon.peak_memory,
+        "analysis_extra": canon.extra.get("analysis"),
+    }
+    if execute:
+        from repro.execution import build_execution_report
+        from repro.experiments.presets import build_numeric_training_graph
+
+        numeric = build_numeric_training_graph(preset)
+        report = build_execution_report(numeric, canon)
+        out["execution"] = {
+            "ok": report.ok,
+            "outputs_match": report.outputs_match,
+            "measured_peak_bytes": report.measured_peak_bytes,
+            "within_budget": report.within_budget,
+        }
+    return out
+
+
+def run_pr9_benchmarks(args, presets, report) -> bool:
+    failed = False
+    for preset in presets:
+        print(f"== {preset} ==")
+        execute = preset in PR9_EXEC_PRESETS and not args.smoke
+        bench = canonicalization_bench(preset, execute=execute)
+        report["presets"][preset] = bench
+        print(f"  nodes {bench['nodes_raw']} -> {bench['nodes_optimized']}   "
+              f"variables {bench['variables_raw']} -> "
+              f"{bench['variables_optimized']} "
+              f"(-{bench['variables_reduction']:.1%})   "
+              f"nnz {bench['nnz_raw']} -> {bench['nnz_optimized']} "
+              f"(-{bench['nnz_reduction']:.1%})")
+        print(f"  optimize {bench['optimize_s'] * 1e3:.2f} ms   compile "
+              f"{bench['compile_raw_s'] * 1e3:.2f} -> "
+              f"{bench['compile_optimized_s'] * 1e3:.2f} ms   solve "
+              f"{bench['solve_raw_s']:.2f} -> "
+              f"{bench['solve_canonicalized_s']:.2f} s")
+        print(f"  objective {bench['objective_raw']!r} == "
+              f"{bench['objective_canonicalized']!r}: "
+              f"{bench['objectives_identical']}")
+        if not bench["objectives_identical"]:
+            print("  ERROR: canonicalized objective differs from the raw solve")
+            failed = True
+        if "execution" in bench:
+            ex = bench["execution"]
+            print(f"  executed decoded schedule: ok={ex['ok']} "
+                  f"outputs_match={ex['outputs_match']} "
+                  f"measured peak {ex['measured_peak_bytes']}")
+            if not ex["ok"]:
+                print("  ERROR: decoded schedule failed the execution report")
+                failed = True
+        if (args.min_nnz_reduction is not None and preset == PR9_SMOKE_PRESET
+                and bench["nnz_reduction"] < args.min_nnz_reduction):
+            print(f"  ERROR: nnz only shrank {bench['nnz_reduction']:.1%} "
+                  f"(required {args.min_nnz_reduction:.0%})")
+            failed = True
+    return failed
+
+
 def run_pr7_benchmarks(args, presets, report) -> bool:
     failed = False
     for preset in presets:
@@ -528,9 +668,30 @@ def main() -> int:
                         help="with --pr7: exit non-zero if the traced warm "
                              "sweep is more than this fraction slower "
                              "(e.g. 0.02 for 2%%)")
+    parser.add_argument("--pr9", action="store_true",
+                        help="run the graph-canonicalization benchmarks and "
+                             "write BENCH_PR9.json")
+    parser.add_argument("--min-nnz-reduction", type=float, default=None,
+                        metavar="FRACTION",
+                        help="with --pr9: exit non-zero unless the "
+                             "repeated-block preset's nnz shrinks by at "
+                             "least this fraction (e.g. 0.05 for 5%%)")
     args = parser.parse_args()
 
-    if args.pr7:
+    if args.pr9:
+        report = {
+            "pr": 9,
+            "description": "graph canonicalization: DCE + zero-cost-chain "
+                           "fusion, formulation shrink, equal-objective "
+                           "solves, executed decoded schedules",
+            "python": sys.version.split()[0],
+            "presets": {},
+        }
+        presets = args.presets or (
+            [PR9_SMOKE_PRESET] if args.smoke else list(PR9_PRESETS))
+        failed = run_pr9_benchmarks(args, presets, report)
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_PR9.json")
+    elif args.pr7:
         report = {
             "pr": 7,
             "description": "tracing/metrics overhead: warm sweep off vs on, "

@@ -23,7 +23,7 @@ candidate set:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 

@@ -27,7 +27,7 @@ count and the forward-to-gradient index map to ``graph.meta``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from ..solvers.ilp import solve_ilp_rematerialization
 from ..utils.timer import Timer
 from .chen import ap_candidates, solve_chen_greedy, solve_chen_sqrt_n
 from .griewank import solve_griewank_logn
-from .segmenting import forward_candidates, training_graph_metadata
+from .segmenting import forward_candidates
 
 __all__ = ["StrategyInfo", "STRATEGIES", "get_strategy", "solve_checkpoint_all"]
 

@@ -504,6 +504,42 @@ def cmd_trace(args) -> int:
     return _emit_trace(args, spans, wall_s=wall_s, header=header)
 
 
+def cmd_lint(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    if args.budget is not None and args.budget_fraction is not None:
+        print("error: pass at most one of --budget or --budget-fraction",
+              file=sys.stderr)
+        return 2
+
+    graph = _load_graph_arg(args.graph)
+    if graph is None:
+        from .cost_model import COST_MODELS
+        from .experiments.presets import build_training_graph
+        graph = build_training_graph(
+            args.preset, scale=args.scale, batch_size=args.batch_size,
+            cost_model=COST_MODELS[args.cost_model or "flop"]())
+    budget = args.budget
+    if args.budget_fraction is not None:
+        budget = float(int(graph.constant_overhead
+                           + args.budget_fraction * graph.total_activation_memory()))
+
+    from .analysis.lint import lint_graph
+    report = lint_graph(graph, budget=budget)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for diag in report.diagnostics:
+            locus = ("" if diag.node is None
+                     else f" [node {diag.node}"
+                          + (f" {diag.node_name!r}" if diag.node_name else "")
+                          + "]")
+            print(f"  {diag.severity:<7} {diag.code}{locus}: {diag.message}")
+    return 0 if report.ok else 1
+
+
 def cmd_strategies(args) -> int:
     from .utils.formatting import format_table
     if args.server:
@@ -682,6 +718,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job_id", nargs="?", default=None)
     _add_server_args(p)
     p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("lint",
+                       help="run the graph linter and print structured "
+                            "diagnostics (exit 1 if any errors)")
+    _add_graph_args(p)
+    p.add_argument("--budget", type=parse_budget, default=None,
+                   help="memory budget to feasibility-check (bytes or "
+                        "512MiB/2GiB/...; enables the B001 diagnostic)")
+    p.add_argument("--budget-fraction", type=float, default=None, metavar="F",
+                   help="budget as overhead + F * total activation memory "
+                        "(alternative to --budget)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON instead of a summary")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("strategies", help="list the solver registry")
     p.add_argument("--server", default=None,

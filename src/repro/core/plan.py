@@ -37,7 +37,7 @@ Both backends interpret plans under the same semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Union
+from typing import Dict, Iterator, List, Union
 
 __all__ = [
     "AllocateRegister",

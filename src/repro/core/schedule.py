@@ -17,7 +17,7 @@ checkers used by the tests and the approximation algorithm, and the canonical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ the executor's compute-time accounting statement for statement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

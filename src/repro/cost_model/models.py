@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..core.dfgraph import DFGraph
-from .devices import CPU_DEVICE, DeviceSpec, NVIDIA_V100
+from .devices import DeviceSpec, NVIDIA_V100
 
 __all__ = ["CostModel", "FlopCostModel", "ProfileCostModel", "UniformCostModel"]
 
@@ -46,6 +46,7 @@ _OP_EFFICIENCY = {
     "add": 0.04,
     "concat": 0.04,
     "flatten": 0.02,
+    "identity": 0.02,
     "softmax_loss": 0.05,
 }
 _DEFAULT_EFFICIENCY = 0.30

@@ -391,6 +391,16 @@ def _make_concat(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
     return NumericOp("concat", forward, input_vjp)
 
 
+def _make_identity(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
+    def forward(inputs):
+        return inputs[0]
+
+    def input_vjp(inputs, output, grad):
+        return (grad,)
+
+    return NumericOp("identity", forward, input_vjp)
+
+
 def _make_flatten(rng, in_shapes, out_shape, attrs, dtype) -> NumericOp:
     def forward(inputs):
         return np.ascontiguousarray(inputs[0]).reshape(inputs[0].shape[0], -1)
@@ -464,6 +474,7 @@ _MAKERS: Dict[str, Callable[..., NumericOp]] = {
     "add": _make_add,
     "concat": _make_concat,
     "flatten": _make_flatten,
+    "identity": _make_identity,
     "dense": _make_dense,
     "softmax_loss": _make_softmax_loss,
 }

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from ..core.dfgraph import DFGraph
 from ..core.schedule import checkpoint_all_schedule

@@ -19,8 +19,8 @@ from typing import Callable, Dict, Optional
 
 from ..autodiff import BackwardConfig, make_training_graph
 from ..core.dfgraph import DFGraph
-from ..cost_model import CostModel, FlopCostModel, ProfileCostModel
-from ..models import fcn8, mobilenet_v1, resnet50, resnet_tiny, segnet, unet, vgg16, vgg19
+from ..cost_model import CostModel, FlopCostModel
+from ..models import deepblock, fcn8, mobilenet_v1, resnet50, resnet_tiny, segnet, unet, vgg16, vgg19
 from ..models.linear import linear_cnn, linear_mlp
 
 __all__ = ["ExperimentModel", "EXPERIMENT_MODELS", "preset_model",
@@ -106,6 +106,17 @@ EXPERIMENT_MODELS: Dict[str, ExperimentModel] = {
                    "channels": 16, "pool_every": 3},
         paper_kwargs={"num_layers": 8, "batch_size": 64, "resolution": 224,
                       "channels": 64, "pool_every": 3},
+    ),
+    # Deep repeated-block family: every residual block is structurally
+    # identical and carries a zero-cost identity alias, making this the
+    # showcase (and CI gate) for the graph-canonicalization passes and the
+    # isomorphic-segment census -- see repro.models.deepblock.
+    "deepblock": ExperimentModel(
+        name="DeepBlock",
+        builder=deepblock,
+        ci_kwargs={"blocks": 4, "channels": 8, "resolution": 8, "batch_size": 2},
+        paper_kwargs={"blocks": 16, "channels": 64, "resolution": 56,
+                      "batch_size": 32},
     ),
 }
 

@@ -11,6 +11,7 @@ from typing import Callable, Dict
 
 from ..core.dfgraph import DFGraph
 from .builder import INPUT, LayerGraphBuilder
+from .deepblock import deepblock
 from .densenet import densenet, densenet121, densenet161
 from .fcn import fcn8
 from .linear import linear_cnn, linear_mlp
@@ -25,6 +26,7 @@ __all__ = [
     "LayerGraphBuilder",
     "MODEL_REGISTRY",
     "get_model",
+    "deepblock",
     "densenet",
     "densenet121",
     "densenet161",
@@ -60,6 +62,7 @@ MODEL_REGISTRY: Dict[str, Callable[..., DFGraph]] = {
     "densenet161": densenet161,
     "linear_mlp": linear_mlp,
     "linear_cnn": linear_cnn,
+    "deepblock": deepblock,
 }
 
 

@@ -198,6 +198,18 @@ class LayerGraphBuilder:
         shape = self.shape_of(parent)
         return self.add_layer(name, "flatten", [parent], (L.numel(shape),), 0.0)
 
+    def identity(self, name: str, parent: int) -> int:
+        """Shape- and value-preserving pass-through (cost 0).
+
+        Stands in for the framework ops that materialize a new tensor name
+        without computing anything -- views, block-output aliases, residual
+        joins in traced graphs.  Zero-cost single-input nodes are exactly
+        what :class:`~repro.analysis.passes.ZeroCostChainFusion` merges into
+        their dependency before the MILP is compiled.
+        """
+        shape = self.shape_of(parent)
+        return self.add_layer(name, "identity", [parent], shape, 0.0)
+
     def dense(self, name: str, parent: int, out_features: int, bias: bool = True) -> int:
         shape = self.shape_of(parent)
         in_features = L.numel(shape)

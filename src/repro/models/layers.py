@@ -20,7 +20,6 @@ Conventions
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 __all__ = [

@@ -12,7 +12,6 @@ from __future__ import annotations
 import json
 import logging
 import threading
-import time
 from typing import Optional
 
 from .trace import get_tracer

@@ -258,6 +258,18 @@ class ServeClient:
             payload["deadline_s"] = deadline_s
         return self._request("POST", "/v1/pareto", payload)
 
+    def lint(self, *, graph: Optional[DFGraph] = None,
+             preset: Optional[str] = None,
+             scale: str = "ci",
+             batch_size: Optional[int] = None,
+             cost_model: Optional[str] = None,
+             budget: Optional[float] = None) -> dict:
+        """``POST /v1/lint``: structured graph diagnostics (synchronous)."""
+        payload = self._graph_payload(graph, preset, scale, batch_size, cost_model)
+        if budget is not None:
+            payload["budget"] = budget
+        return self._request("POST", "/v1/lint", payload)
+
     @staticmethod
     def _graph_payload(graph, preset, scale, batch_size, cost_model) -> dict:
         if (graph is None) == (preset is None):

@@ -7,6 +7,7 @@ Endpoints (all JSON bodies/responses, ``/v1`` prefix):
 ``POST /v1/sweep``             submit a (strategy, budget) sweep; 202 + job
 ``POST /v1/execute``           solve + run over NumPy tensors; 202 + job
 ``POST /v1/pareto``            bisection Pareto-frontier trace; 202 + job
+``POST /v1/lint``              structured graph diagnostics; 200 (synchronous)
 ``GET  /v1/jobs``              list retained jobs (``?state=queued`` filter)
 ``GET  /v1/jobs/{id}``         job status/lifecycle
 ``GET  /v1/jobs/{id}/result``  result payload (409 until terminal)
@@ -192,6 +193,24 @@ class _App:
         except QueueFullError as exc:
             raise _queue_full(exc) from None
         return 202, self._job_accepted(job)
+
+    def post_lint(self, payload: dict) -> Tuple[int, dict]:
+        """Lint a graph (by wire value or preset) and return the diagnostics.
+
+        Synchronous -- linting is pure analysis, far cheaper than a solve, so
+        there is no job to queue: the response is the
+        :meth:`~repro.analysis.lint.LintReport.to_dict` payload directly.  An
+        optional ``budget`` (bytes) enables the ``B001`` feasibility
+        pre-check.  The HTTP status is 200 even when the report contains
+        errors -- the *lint* succeeded; ``"ok"`` in the body carries the
+        verdict.
+        """
+        from ..analysis.lint import lint_graph
+
+        graph = _build_graph(payload)
+        budget = _parse_budget(payload.get("budget"))
+        report = lint_graph(graph, budget=budget)
+        return 200, report.to_dict()
 
     def post_execute(self, payload: dict) -> Tuple[int, dict]:
         """Solve one cell, lower the plan and run it over real tensors.
@@ -603,6 +622,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return app.post_execute(self._read_json())
             if path == f"/{API_VERSION}/pareto":
                 return app.post_pareto(self._read_json())
+            if path == f"/{API_VERSION}/lint":
+                return app.post_lint(self._read_json())
             match = _JOB_PATH.match(path)
             if match and match.group("sub") == "/cancel":
                 return app.cancel_job(match.group("job_id"))

@@ -47,7 +47,7 @@ import threading
 import time
 import uuid
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.dfgraph import DFGraph
 from ..obs.logging import get_logger

@@ -28,6 +28,7 @@ propagates, so misuse is never silently reported as infeasibility.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -47,6 +48,8 @@ from .registry import SolverRegistry, SolverSpec, default_registry
 
 __all__ = ["SolveStats", "SweepCell", "SolveService", "SolveCancelledError",
            "get_default_service", "set_default_service", "parallel_map"]
+
+logger = logging.getLogger(__name__)
 
 
 class SolveCancelledError(RuntimeError):
@@ -111,6 +114,11 @@ class SolveStats:
     incumbent_prunes: int = 0
     bound_skips: int = 0
     infeasible_shortcuts: int = 0
+    lint_runs: int = 0
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    canonical_solves: int = 0
+    canonical_nodes_removed: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, solver_call: bool, cache_hit: Optional[bool]) -> None:
@@ -143,12 +151,32 @@ class SolveStats:
         with self._lock:
             self.executions += 1
 
+    def record_lint(self, report) -> None:
+        """Count one pre-solve lint gate run and its findings.
+
+        ``lint_runs`` counts gate *consultations* (memoized reports replayed
+        by :func:`~repro.analysis.lint.lint_graph_cached` included), so the
+        errors/warnings totals track what solves were exposed to, not how
+        many distinct graphs were analyzed.
+        """
+        with self._lock:
+            self.lint_runs += 1
+            self.lint_errors += report.errors
+            self.lint_warnings += report.warnings
+
+    def record_canonical(self, nodes_removed: int) -> None:
+        with self._lock:
+            self.canonical_solves += 1
+            self.canonical_nodes_removed += int(nodes_removed)
+
     def reset(self) -> None:
         with self._lock:
             self.solver_calls = self.cache_hits = self.cache_misses = 0
             self.executions = 0
             self.warm_seeds = self.incumbent_prunes = 0
             self.bound_skips = self.infeasible_shortcuts = 0
+            self.lint_runs = self.lint_errors = self.lint_warnings = 0
+            self.canonical_solves = self.canonical_nodes_removed = 0
 
 
 @dataclass(frozen=True)
@@ -294,6 +322,13 @@ class SolveService:
                         if neighbor is not None:
                             warm_start = warm_seed_from_result(graph, neighbor[1])
 
+            # Warn-only pre-solve lint gate, on the cache-miss path only: a
+            # cache hit replays a schedule this service already vetted, and
+            # keeping the hit path at microseconds is the whole point of the
+            # cache.  Memoized by content hash, so a sweep lints each graph
+            # once per budget, not once per cell.
+            self._lint_gate(graph, budget, tracer)
+
             if should_cancel is not None and should_cancel():
                 raise SolveCancelledError(
                     f"solve of {strategy!r} cancelled before solver start")
@@ -312,6 +347,29 @@ class SolveService:
             if key is not None and applicable and _cacheable(result):
                 self.cache.put(key, result, family=family, budget=budget)
             return result
+
+    def _lint_gate(self, graph: DFGraph, budget: Optional[float],
+                   tracer) -> None:
+        """Run the graph linter before a fresh solve; warn, never fail.
+
+        Diagnostics are logged (errors and warnings at ``WARNING`` level) and
+        counted in :class:`SolveStats`; the solve proceeds regardless -- a
+        questionable graph still deserves the solver's verdict, and the
+        linter itself must never be the reason a solve dies.
+        """
+        from ..analysis.lint import lint_graph_cached
+
+        try:
+            with tracer.span("lint", graph=graph.name):
+                report = lint_graph_cached(graph, budget=budget)
+        except Exception:  # pragma: no cover - defensive: lint is advisory
+            logger.exception("graph lint failed; continuing with the solve")
+            return
+        self.stats.record_lint(report)
+        if report.errors or report.warnings:
+            worst = [d for d in report.diagnostics if d.severity != "info"]
+            logger.warning("%s; first: [%s] %s", report.summary(),
+                           worst[0].code, worst[0].message)
 
     def _invoke(self, spec: SolverSpec, graph: DFGraph, budget: Optional[float],
                 options: SolverOptions, *, strict: bool,
@@ -332,6 +390,90 @@ class SolveService:
                 budget=int(budget) if budget is not None else None,
                 feasible=False, solver_status=f"not-applicable: {exc}",
             ), False
+
+    # ------------------------------------------------------------------ #
+    # Canonicalized solve
+    # ------------------------------------------------------------------ #
+    def solve_canonicalized(
+        self,
+        graph: DFGraph,
+        strategy: str,
+        budget: Optional[float] = None,
+        options: Optional[SolverOptions] = None,
+        *,
+        use_cache: bool = True,
+        strict: bool = False,
+        should_cancel: Optional[Callable[[], bool]] = None,
+        max_passes: int = 10,
+    ) -> ScheduledResult:
+        """Canonicalize the graph, solve the smaller MILP, decode back.
+
+        Runs the :mod:`repro.analysis` pass pipeline (dead-node elimination +
+        zero-cost chain fusion), solves the optimized graph through the
+        ordinary :meth:`solve` path (plan cache, warm starts and the compiled
+        formulation all apply -- to the *optimized* graph's content hash),
+        then maps the schedule back onto the original graph through the node
+        provenance.  The decode is cross-checked on every call: the decoded
+        schedule's simulated peak and compute cost must equal the optimized
+        solve's exactly, otherwise a ``ValueError`` flags the transform as
+        unsafe.  The returned result targets the *original* graph; its
+        ``extra['analysis']`` carries the pass statistics plus the
+        peak/objective cross-check values.
+
+        When canonicalization changes nothing, this degrades to a plain
+        :meth:`solve` of the original graph (no decode, no extra dict).
+        """
+        from ..analysis import optimize_graph
+        from ..core.schedule import schedule_compute_cost
+        from ..core.simulator import schedule_peak_memory
+        from ..solvers.common import build_scheduled_result
+
+        tracer = get_tracer()
+        with tracer.span("solve-canonical", strategy=strategy):
+            with tracer.span("canonicalize", graph=graph.name):
+                opt = optimize_graph(graph, max_passes=max_passes)
+            if not opt.changed:
+                return self.solve(graph, strategy, budget, options,
+                                  use_cache=use_cache, strict=strict,
+                                  should_cancel=should_cancel)
+            inner = self.solve(opt.graph, strategy, budget, options,
+                               use_cache=use_cache, strict=strict,
+                               should_cancel=should_cancel)
+            self.stats.record_canonical(opt.stats.get("nodes_removed", 0))
+            analysis = dict(opt.stats)
+            extra = dict(inner.extra or {})
+            if not inner.feasible or inner.matrices is None:
+                extra["analysis"] = analysis
+                return build_scheduled_result(
+                    strategy, graph, None, budget=budget, feasible=False,
+                    solve_time_s=inner.solve_time_s,
+                    solver_status=inner.solver_status, extra=extra)
+            with tracer.span("decode-provenance"):
+                decoded = opt.decode_matrices(inner.matrices)
+            decoded_peak = schedule_peak_memory(graph, decoded)
+            decoded_cost = schedule_compute_cost(graph, decoded)
+            # The transform-safety contract: fused members are resident
+            # exactly when their fused node is, so decoding must preserve
+            # the peak byte for byte and the objective exactly.
+            if inner.peak_memory is not None and decoded_peak != inner.peak_memory:
+                raise ValueError(
+                    f"canonicalization decode changed the peak: optimized "
+                    f"{inner.peak_memory} B vs decoded {decoded_peak} B")
+            if (inner.compute_cost is not None
+                    and abs(decoded_cost - inner.compute_cost)
+                    > 1e-9 * max(1.0, abs(inner.compute_cost))):
+                raise ValueError(
+                    f"canonicalization decode changed the objective: "
+                    f"optimized {inner.compute_cost} vs decoded {decoded_cost}")
+            analysis["optimized_peak_memory"] = inner.peak_memory
+            analysis["decoded_peak_memory"] = decoded_peak
+            extra["analysis"] = analysis
+            return build_scheduled_result(
+                strategy, graph, decoded, budget=budget, feasible=True,
+                solve_time_s=inner.solve_time_s,
+                solver_status=inner.solver_status,
+                frontier_advancing=False, peak_memory=decoded_peak,
+                extra=extra)
 
     # ------------------------------------------------------------------ #
     # Solve-and-execute
@@ -608,6 +750,14 @@ class SolveService:
                 "bound_skips": self.stats.bound_skips,
                 "infeasible_shortcuts": self.stats.infeasible_shortcuts,
             }
+            analysis = {
+                "lint_runs": self.stats.lint_runs,
+                "lint_errors": self.stats.lint_errors,
+                "lint_warnings": self.stats.lint_warnings,
+                "canonical_solves": self.stats.canonical_solves,
+                "canonical_nodes_removed": self.stats.canonical_nodes_removed,
+            }
+        snapshot["analysis"] = analysis
         snapshot["registered_solvers"] = len(self.registry)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None
         # The compiled-formulation cache is process-wide (shared by every

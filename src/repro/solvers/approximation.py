@@ -24,7 +24,7 @@ VGG16 at a 4x reduced budget).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

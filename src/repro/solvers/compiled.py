@@ -567,15 +567,23 @@ class CompiledFormulation:
 
 
 class FormulationCache:
-    """Per-process LRU of :class:`CompiledFormulation` keyed by graph content.
+    """Per-process LRU of :class:`CompiledFormulation` keyed by graph structure.
 
-    The key is ``(graph content hash, variant, num_stages)`` -- the same
-    canonical :func:`~repro.service.hashing.graph_content_hash` that addresses
-    the plan cache, so two independently reconstructed copies of one graph
-    share a single compiled formulation.  Lookups are single-flighted: when
-    several sweep workers race on a cold key, exactly one thread compiles and
-    the rest wait for its result (``stats()['compiles']`` counts real
-    compilations, which is how the tests assert "compile once per graph").
+    The key is ``(structural hash, variant, num_stages)`` using
+    :func:`~repro.analysis.analyses.structural_graph_hash`, which covers
+    exactly what the formulation arrays are built from -- costs, memories,
+    edges, the constant overhead -- and nothing else.  That is deliberately
+    *weaker* than the plan cache's
+    :func:`~repro.service.hashing.graph_content_hash`: node names, layer ids
+    and the ``meta`` mapping (including ``op_attrs``) never enter the MILP,
+    so two structurally isomorphic graphs -- the same residual block rebuilt
+    with different layer names, or the same architecture with different op
+    hyper-parameters -- share one compiled formulation per process.  Plans
+    stay keyed by the full content hash, because *executing* a schedule does
+    depend on ``op_attrs``.  Lookups are single-flighted: when several sweep
+    workers race on a cold key, exactly one thread compiles and the rest wait
+    for its result (``stats()['compiles']`` counts real compilations, which
+    is how the tests assert "compile once per structure").
     """
 
     def __init__(self, max_entries: int = 64) -> None:
@@ -590,12 +598,10 @@ class FormulationCache:
 
     @staticmethod
     def _key(graph: DFGraph, frontier_advancing: bool, num_stages: Optional[int]) -> tuple:
-        # Imported lazily: repro.service imports repro.solvers at package
-        # import time, so the reverse top-level import would be circular.
-        from ..service.hashing import graph_content_hash
+        from ..analysis.analyses import structural_graph_hash
 
         T = int(num_stages) if num_stages is not None else graph.size
-        return (graph_content_hash(graph), bool(frontier_advancing), T)
+        return (structural_graph_hash(graph), bool(frontier_advancing), T)
 
     def get(
         self,

@@ -105,6 +105,27 @@ class TestCliOffline:
         assert "time_limit_s" in proc.stderr  # the known list is shown
         assert "Traceback" not in proc.stderr
 
+    def test_lint_clean_preset(self):
+        proc = run_cli("lint", "--preset", "deepblock")
+        assert proc.returncode == 0, proc.stderr
+        assert "0 error(s)" in proc.stdout
+        assert "C002" in proc.stdout  # the identity aliases are flagged
+
+    def test_lint_json(self):
+        import json as json_mod
+        proc = run_cli("lint", "--preset", "linear_cnn",
+                       "--budget-fraction", "0.8", "--json")
+        assert proc.returncode == 0, proc.stderr
+        report = json_mod.loads(proc.stdout)
+        assert report["ok"] is True
+        assert set(report["counts"]) == {"error", "warning", "info"}
+
+    def test_lint_rejects_conflicting_budgets(self):
+        proc = run_cli("lint", "--preset", "linear_cnn",
+                       "--budget", "1GiB", "--budget-fraction", "0.5")
+        assert proc.returncode == 2
+        assert "at most one" in proc.stderr
+
 
 class TestCliPareto:
     def test_pareto_local_table(self):

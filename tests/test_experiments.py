@@ -47,6 +47,18 @@ class TestPresets:
         assert a.size == b.size
         assert "grad_index" in a.meta
 
+    def test_deepblock_preset_has_repeated_fusable_blocks(self):
+        from repro.analysis import isomorphic_segment_groups, optimize_graph
+
+        graph = build_training_graph("deepblock")
+        # Each block carries a zero-cost identity alias plus the head flatten:
+        # the canonicalizer must strictly shrink this preset.
+        result = optimize_graph(graph)
+        assert result.stats["nodes_removed"] >= 5
+        # And the blocks are structurally identical, so they group.
+        groups = isomorphic_segment_groups(graph)
+        assert any(len(segs) > 1 for segs in groups.values())
+
 
 class TestBudgetSweep:
     def test_budget_grid_monotone_and_above_overhead(self, tiny_vgg_train):

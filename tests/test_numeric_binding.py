@@ -33,6 +33,7 @@ OP_CASES = [
     ("dense", [(3, 4, 4)], (5,), {"bias": False}),
     ("relu", [(3, 4, 4)], (3, 4, 4), {}),
     ("flatten", [(3, 4, 4)], (48,), {}),
+    ("identity", [(3, 4, 4)], (3, 4, 4), {}),
     ("add", [(3, 4, 4), (3, 4, 4)], (3, 4, 4), {}),
     ("concat", [(2, 4, 4), (3, 4, 4)], (5, 4, 4), {}),
     ("conv2d", [(3, 8, 8)], (5, 8, 8),

@@ -306,6 +306,18 @@ class TestHttpApi:
         results = client.result(handle["job_id"])["results"]
         assert len(results) == 4
 
+    def test_lint_by_preset(self, client):
+        report = client.lint(preset="deepblock")
+        assert report["ok"] is True
+        assert report["counts"]["error"] == 0
+        # The identity aliases surface as C002 fusion-candidate infos.
+        assert any(d["code"] == "C002" for d in report["diagnostics"])
+
+    def test_lint_by_graph_upload_with_budget(self, client, chain5_train):
+        report = client.lint(graph=chain5_train, budget=1.0)
+        assert any(d["code"] == "B001" for d in report["diagnostics"])
+        assert report["ok"] is True  # B001 is a warning
+
     def test_execute_by_preset(self, client):
         handle = client.submit_execute(preset="linear_mlp",
                                        strategy="checkmate_ilp",
