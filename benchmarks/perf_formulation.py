@@ -68,6 +68,20 @@ overhead under 2% on the warm sweep.
 
 CI runs ``--pr9 --smoke --min-nnz-reduction 0.05`` so the repeated-block
 preset keeps shrinking by at least 5% nnz.
+
+``--pr10`` measures the deadline-racing meta-solver and writes
+``BENCH_PR10.json``:
+
+* **quality-vs-deadline curve** -- one ``race`` solve per deadline on a
+  ladder from sub-second to generous, each against a fresh (uncached)
+  service, recording the winner, objective, wall time, whether the deadline
+  fired, and how many entrants finished vs were reaped.
+* **quality ceiling** -- a generous exact-ILP solve of the same cell; each
+  curve point reports ``quality_ratio = race_objective / ceiling`` so the
+  curve shows the race converging onto the exact optimum as the SLO relaxes.
+
+CI runs ``--pr10 --smoke`` (resnet_tiny, short ladder) and fails if the race
+cannot produce a feasible schedule at the longest smoke deadline.
 """
 
 from __future__ import annotations
@@ -108,6 +122,15 @@ PR9_PRESETS = ("vgg16", "vgg19", "deepblock", "linear_cnn")
 PR9_SMOKE_PRESET = "deepblock"
 #: Presets whose decoded schedule is additionally executed over real tensors.
 PR9_EXEC_PRESETS = ("deepblock", "vgg16")
+
+#: Deadline-race (PR 10) benchmark set and deadline ladder.  The fraction
+#: pins one memorably tight budget cell (half the retained-activation
+#: footprint) where the approximations and the exact ILP genuinely diverge.
+PR10_PRESETS = ("resnet_tiny", "vgg16")
+PR10_DEADLINES = (0.25, 0.5, 1.0, 2.0, 5.0, 10.0)
+PR10_SMOKE_DEADLINES = (0.5, 2.0)
+PR10_FRACTION = 0.5
+PR10_CEILING_LIMIT_S = 120.0
 
 #: Figure-5 strategies minus the exact MILP (see module docstring).
 DEFAULT_SWEEP_STRATEGIES = (
@@ -537,6 +560,95 @@ def canonicalization_bench(preset: str, *, budget_fraction: float = 0.8,
     return out
 
 
+def deadline_curve_bench(preset: str, deadlines, fraction: float = PR10_FRACTION):
+    """Race one budget cell under a ladder of deadlines; report the curve."""
+    from repro.experiments.presets import build_training_graph
+    from repro.service import SolveService, SolverOptions
+
+    graph = build_training_graph(preset)
+    budget = int(graph.constant_overhead
+                 + graph.total_activation_memory() * fraction)
+
+    # Quality ceiling: a generous exact solve of the same cell.  The race's
+    # objective can never beat it, so quality_ratio >= 1 and should approach
+    # 1 as the deadline relaxes.
+    ceiling_service = SolveService(cache=None)
+    t0 = time.perf_counter()
+    ceiling = ceiling_service.solve(
+        graph, "checkmate_ilp", budget,
+        SolverOptions(time_limit_s=PR10_CEILING_LIMIT_S, generate_plan=False))
+    ceiling_s = time.perf_counter() - t0
+    ceiling_cost = float(ceiling.compute_cost) if ceiling.feasible else None
+
+    curve = []
+    for deadline in deadlines:
+        # A fresh service per point: every race runs cold, no plan-cache
+        # replay flattering the short deadlines.
+        service = SolveService(cache=None)
+        t0 = time.perf_counter()
+        result = service.solve(
+            graph, "race", budget,
+            SolverOptions(deadline_s=float(deadline), generate_plan=False))
+        wall = time.perf_counter() - t0
+        race = (result.extra or {}).get("race", {})
+        lanes = race.get("entrants", [])
+        objective = float(result.compute_cost) if result.feasible else None
+        curve.append({
+            "deadline_s": float(deadline),
+            "feasible": bool(result.feasible),
+            "winner": race.get("winner"),
+            "objective": objective,
+            "quality_ratio": (objective / ceiling_cost
+                              if objective is not None and ceiling_cost
+                              else None),
+            "wall_s": wall,
+            "deadline_hit": bool(race.get("deadline_hit")),
+            "entrants_finished": sum(1 for l in lanes
+                                     if l.get("wall_s") is not None),
+            "entrants_total": len(lanes),
+        })
+    return {
+        "budget": budget,
+        "budget_fraction": fraction,
+        "ceiling_objective": ceiling_cost,
+        "ceiling_status": ceiling.solver_status,
+        "ceiling_s": ceiling_s,
+        "curve": curve,
+    }
+
+
+def run_pr10_benchmarks(args, presets, report) -> bool:
+    failed = False
+    deadlines = PR10_SMOKE_DEADLINES if args.smoke else PR10_DEADLINES
+    for preset in presets:
+        print(f"== {preset} ==")
+        bench = deadline_curve_bench(preset, deadlines)
+        report["presets"][preset] = bench
+        print(f"  budget {bench['budget']} ({bench['budget_fraction']:.0%} of "
+              f"retained activations)   ceiling "
+              f"{bench['ceiling_objective']!r} "
+              f"({bench['ceiling_status']}, {bench['ceiling_s']:.1f} s)")
+        for point in bench["curve"]:
+            ratio = point["quality_ratio"]
+            print(f"  deadline {point['deadline_s']:6.2f} s  "
+                  f"winner {point['winner'] or '-':24s} "
+                  f"quality {f'{ratio:.3f}x' if ratio else 'infeasible':>12s} "
+                  f"wall {point['wall_s']:5.2f} s  "
+                  f"{point['entrants_finished']}/{point['entrants_total']} "
+                  f"entrants finished")
+        last = bench["curve"][-1]
+        if not last["feasible"]:
+            print(f"  ERROR: race infeasible even at the longest deadline "
+                  f"({last['deadline_s']} s)")
+            failed = True
+        if (args.max_quality_ratio is not None and last["quality_ratio"]
+                and last["quality_ratio"] > args.max_quality_ratio):
+            print(f"  ERROR: quality {last['quality_ratio']:.3f}x at the "
+                  f"longest deadline (budget {args.max_quality_ratio:.2f}x)")
+            failed = True
+    return failed
+
+
 def run_pr9_benchmarks(args, presets, report) -> bool:
     failed = False
     for preset in presets:
@@ -676,9 +788,29 @@ def main() -> int:
                         help="with --pr9: exit non-zero unless the "
                              "repeated-block preset's nnz shrinks by at "
                              "least this fraction (e.g. 0.05 for 5%%)")
+    parser.add_argument("--pr10", action="store_true",
+                        help="run the deadline-race quality-vs-deadline "
+                             "benchmarks and write BENCH_PR10.json")
+    parser.add_argument("--max-quality-ratio", type=float, default=None,
+                        metavar="RATIO",
+                        help="with --pr10: exit non-zero if the longest "
+                             "deadline's objective exceeds the exact ceiling "
+                             "by more than this factor (e.g. 1.05)")
     args = parser.parse_args()
 
-    if args.pr9:
+    if args.pr10:
+        report = {
+            "pr": 10,
+            "description": "deadline-racing meta-solver: quality-vs-deadline "
+                           "curves against the exact-ILP ceiling",
+            "python": sys.version.split()[0],
+            "presets": {},
+        }
+        presets = args.presets or (
+            [SMOKE_PRESET] if args.smoke else list(PR10_PRESETS))
+        failed = run_pr10_benchmarks(args, presets, report)
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_PR10.json")
+    elif args.pr9:
         report = {
             "pr": 9,
             "description": "graph canonicalization: DCE + zero-cost-chain "

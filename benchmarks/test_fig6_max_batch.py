@@ -45,12 +45,45 @@ def test_fig6_max_batch(benchmark, solve_service):
         # batch >= 103 the rounded S exceeds the full budget for every
         # rounding configuration tried (allowance 0.1/0.05/0.02/0.0,
         # deterministic and randomized x64 samples) -- the seed-identical
-        # behaviour recorded in CHANGES.md, an algorithmic property of the
-        # approximation rather than a solver regression.  The linear models
-        # keep the 1.2x bound; the non-linear one asserts the documented
-        # 1.11x capability with a small margin, so a regression in the
-        # rounding still trips it.
+        # behaviour recorded in CHANGES.md.  The rounding-portfolio PR
+        # re-ran the search with approx_threshold_sweep, which tries every
+        # distinct S* value as a threshold, and it caps at the same 99
+        # (cross-checked below): the ceiling is a property of the LP
+        # relaxation at this scale, not of the 0.5 threshold choice, so the
+        # bound is tightened from the provisional 1.08x to 1.10x (99/89 =
+        # 1.112x measured).  The linear models keep the exact-claim 1.2x.
         if model == "U-Net":
-            assert checkmate >= 1.08 * baseline, model
+            assert checkmate >= 1.10 * baseline, model
         else:
             assert checkmate >= 1.2 * baseline, model
+
+
+def test_fig6_unet_portfolio_threshold_sweep_matches_legacy_cap(solve_service):
+    """The full-threshold-family sweep confirms the U-Net batch-99 ceiling.
+
+    ``approx_threshold_sweep`` dominates the legacy fixed-0.5 rounding by
+    construction (0.5 is always among its candidate thresholds), so if any
+    threshold admitted a feasible rounding past the legacy cap this search
+    would find it.  It reaching the *same* max batch is the evidence behind
+    tightening the U-Net assertion above.
+    """
+    models = {
+        "U-Net": lambda b: unet(batch_size=b, resolution=(96, 128),
+                                base_filters=16, depth=3),
+    }
+    results = max_batch_experiment(
+        models, budget=BUDGET,
+        strategies=("checkmate_approx", "approx_threshold_sweep"),
+        max_batch=1024, service=solve_service)
+    by_strategy = {r.strategy: r.max_batch_size for r in results}
+    legacy = by_strategy["checkmate_approx"]
+    sweep = by_strategy["approx_threshold_sweep"]
+    print(f"\n[Figure 6 calibration] U-Net max batch: legacy rounding "
+          f"{legacy}, threshold-sweep portfolio {sweep}")
+    assert sweep >= legacy, \
+        "threshold sweep must dominate the fixed 0.5 threshold"
+    # The documented ceiling: if the portfolio ever pushes past it, the
+    # calibration comment (and the 1.10x bound) above should be revisited.
+    assert sweep == 99, \
+        f"U-Net portfolio cap moved from the documented 99 to {sweep}; " \
+        f"recalibrate test_fig6_max_batch"

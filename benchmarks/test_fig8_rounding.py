@@ -9,7 +9,8 @@ from repro.experiments.budget_sweep import budget_grid
 def test_fig8_rounding_comparison(benchmark, vgg16_flop_graph):
     budget = budget_grid(vgg16_flop_graph, num_budgets=4, low_fraction=0.6)[1]
     comp = run_once(benchmark, rounding_comparison, vgg16_flop_graph, budget,
-                    num_randomized_samples=10, include_ilp=True, ilp_time_limit_s=90)
+                    num_randomized_samples=10, include_ilp=True,
+                    include_portfolio=True, ilp_time_limit_s=90)
 
     print(f"\n[Figure 8] {comp.graph_name} at budget {budget / MiB:.0f} MiB")
     print(f"  checkpoint-all: cost={comp.checkpoint_all_cost:.3g}, "
@@ -31,6 +32,20 @@ def test_fig8_rounding_comparison(benchmark, vgg16_flop_graph):
     if feasible_rand:
         mean_rand = sum(p["cost"] for p in feasible_rand) / len(feasible_rand)
         assert comp.deterministic_cost <= mean_rand + 1e-6
+
+    # Portfolio overlay: the fixed-0.5 scheme is the deterministic rounding
+    # under another name (same LP, same threshold, same min-R completion),
+    # and the threshold sweep always includes 0.5 among its candidates.
+    for key, point in comp.portfolio_points.items():
+        print(f"  {key:>22s}: " + (
+            f"cost={point['cost']:.3g}, mem={point['memory'] / MiB:.0f} MiB"
+            if point else "infeasible"))
+        if point and comp.ilp_cost is not None:
+            assert point["cost"] >= comp.ilp_cost - 1e-6, key
+    fixed = comp.portfolio_points["approx_fixed_half"]
+    assert fixed is not None and abs(fixed["cost"] - comp.deterministic_cost) <= 1e-6
+    sweep = comp.portfolio_points["approx_threshold_sweep"]
+    assert sweep is not None and sweep["cost"] <= fixed["cost"] + 1e-6
 
 
 def test_sec51_naive_rounding_infeasibility(benchmark, vgg16_flop_graph):

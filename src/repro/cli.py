@@ -10,6 +10,9 @@ without writing Python:
     $ repro submit --preset unet --strategy checkmate_approx --budget 2GiB
     $ repro sweep --preset vgg16 --strategies ap_sqrt_n,linearized_greedy \\
                   --budgets 512MiB,1GiB,2GiB
+    $ repro race --preset vgg16 --budget-fraction 0.5 --deadline-s 2
+                                                   # portfolio + ILP race
+                                                   # under a latency SLO
     $ repro execute --preset linear_mlp --strategy checkmate_ilp \\
                     --budget-fraction 0.6          # solve, run, cross-check
     $ repro pareto --preset resnet_tiny            # trace the memory/compute
@@ -212,6 +215,98 @@ def cmd_submit(args) -> int:
             fh.write(schedule)
         print(f"schedule written to {args.save_schedule}")
     return 0
+
+
+def _print_race_provenance(race: dict) -> None:
+    from .utils.formatting import format_table
+    rows = []
+    for lane in race.get("entrants", []):
+        wall = lane.get("wall_s")
+        objective = lane.get("objective")
+        rows.append((
+            lane.get("strategy", "?"),
+            str(lane.get("status", "?")),
+            "-" if wall is None else f"{wall:.3f}s",
+            "-" if objective is None else f"{objective:.4g}",
+        ))
+    winner = race.get("winner") or "none"
+    hit = " (deadline hit)" if race.get("deadline_hit") else ""
+    print(f"race: winner {winner} in {race.get('wall_s', 0.0):.3f}s "
+          f"of a {race.get('deadline_s')}s deadline{hit}")
+    print(format_table(["entrant", "status", "wall", "objective"], rows))
+
+
+def cmd_race(args) -> int:
+    usage_error = _require_one_graph_source(args)
+    if usage_error is not None:
+        return usage_error
+    if args.budget is not None and args.budget_fraction is not None:
+        print("error: pass at most one of --budget or --budget-fraction",
+              file=sys.stderr)
+        return 2
+    if args.budget is None and args.budget_fraction is None:
+        print("error: race requires --budget or --budget-fraction",
+              file=sys.stderr)
+        return 2
+    option_pairs = _parse_option_pairs(args.option) or {}
+    option_pairs["deadline_s"] = args.deadline_s
+    if args.entrants:
+        option_pairs["entrants"] = [e for e in args.entrants.split(",") if e]
+    from .service import SolverOptions
+    unknown = set(option_pairs) - set(SolverOptions.__dataclass_fields__)
+    if unknown:
+        print(f"error: unknown solver options {sorted(unknown)}; known: "
+              f"{sorted(SolverOptions.__dataclass_fields__)}", file=sys.stderr)
+        return 2
+
+    graph = None
+    budget = args.budget
+    if args.budget_fraction is not None or not args.server or args.graph is not None:
+        graph = _load_graph_arg(args.graph)
+        if graph is None:
+            from .cost_model import COST_MODELS
+            from .experiments.presets import build_training_graph
+            graph = build_training_graph(
+                args.preset, scale=args.scale, batch_size=args.batch_size,
+                cost_model=COST_MODELS[args.cost_model or "flop"]())
+    if args.budget_fraction is not None:
+        budget = float(int(graph.constant_overhead
+                           + args.budget_fraction * graph.total_activation_memory()))
+
+    if args.server:
+        client = _client(args)
+        handle = client.submit_solve(
+            graph=graph if args.graph is not None else None,
+            preset=args.preset, scale=args.scale, batch_size=args.batch_size,
+            cost_model=args.cost_model, strategy="race", budget=budget,
+            options=option_pairs, priority=args.priority)
+        print(f"race job {handle['job_id']} {handle['state']}")
+        if args.no_wait:
+            return 0
+        status = client.wait(handle["job_id"], timeout=args.timeout)
+        if status["state"] != "done":
+            print(f"error: {status.get('error')}", file=sys.stderr)
+            return 1
+        payload = client.result(handle["job_id"])["result"]
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if payload["feasible"] else 1
+        _print_result_rows([payload])
+        _print_race_provenance((payload.get("extra") or {}).get("race") or {})
+        return 0 if payload["feasible"] else 1
+
+    from .service import get_default_service
+    from .utils.serialization import result_to_wire
+    options = SolverOptions(**option_pairs)
+    result = get_default_service().solve(graph, "race", budget, options)
+    wire = result_to_wire(result)
+    wire.pop("schedule", None)
+    if args.json:
+        print(json.dumps(wire, indent=2, sort_keys=True))
+    else:
+        _print_result_rows([wire])
+        _print_race_provenance(result.extra.get("race") or {})
+    return 0 if result.feasible else 1
 
 
 def cmd_sweep(args) -> int:
@@ -630,6 +725,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=1800.0)
     _add_server_args(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("race",
+                       help="race the rounding portfolio + exact ILP under a "
+                            "deadline; best feasible schedule wins")
+    _add_graph_args(p)
+    p.add_argument("--deadline-s", type=float, default=10.0,
+                   help="wall-clock deadline for the race (default: 10)")
+    p.add_argument("--entrants", default=None,
+                   help="comma-separated strategy keys to race (default: the "
+                        "four approx_* portfolio schemes + checkmate_ilp)")
+    p.add_argument("--budget", type=parse_budget, default=None,
+                   help="memory budget (bytes or 512MiB/2GiB/...)")
+    p.add_argument("--budget-fraction", type=float, default=None, metavar="F",
+                   help="budget as overhead + F * total activation memory "
+                        "(alternative to --budget)")
+    p.add_argument("--option", action="append", default=[], metavar="KEY=VALUE",
+                   help="solver option, repeatable (e.g. --option seed=7)")
+    p.add_argument("--json", action="store_true",
+                   help="print the result (with extra.race provenance) as JSON")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--no-wait", action="store_true",
+                   help="(with --server) print the job id and exit")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--server", default=None,
+                   help="run through a 'repro serve' daemon instead of locally")
+    p.add_argument("--http-timeout", type=float, default=30.0)
+    p.set_defaults(fn=cmd_race)
 
     p = sub.add_parser("execute",
                        help="solve a schedule, run it over NumPy tensors and "

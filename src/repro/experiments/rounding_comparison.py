@@ -40,6 +40,10 @@ class RoundingComparison:
     deterministic_cost: Optional[float]
     deterministic_memory: Optional[int]
     randomized_points: List[Dict[str, float]] = field(default_factory=list)
+    #: Per-scheme ``{"cost": ..., "memory": ...}`` (or None when infeasible)
+    #: for the rounding-portfolio strategies, when the panel includes them.
+    portfolio_points: Dict[str, Optional[Dict[str, float]]] = field(
+        default_factory=dict)
 
     @property
     def deterministic_beats_randomized_mean(self) -> Optional[bool]:
@@ -57,6 +61,7 @@ def rounding_comparison(
     allowance: float = 0.1,
     num_randomized_samples: int = 15,
     include_ilp: bool = True,
+    include_portfolio: bool = False,
     ilp_time_limit_s: float = 120.0,
     seed: int = 0,
     service: Optional[SolveService] = None,
@@ -65,7 +70,10 @@ def rounding_comparison(
 
     The LP relaxation is solved once and shared by both rounding modes (so it
     stays a direct call); the independent ILP reference point goes through the
-    solve service and benefits from the plan cache.
+    solve service and benefits from the plan cache.  ``include_portfolio``
+    additionally plots the four rounding-portfolio strategies -- they share
+    one LP relaxation solve among themselves via the process-wide
+    ``LPRelaxationCache``, so the whole family costs one extra LP.
     """
     service = service or get_default_service()
     ca = checkpoint_all_schedule(graph)
@@ -92,6 +100,20 @@ def rounding_comparison(
         if ilp.feasible:
             ilp_cost, ilp_mem = ilp.compute_cost, ilp.peak_memory
 
+    portfolio_points: Dict[str, Optional[Dict[str, float]]] = {}
+    if include_portfolio:
+        from ..solvers.rounding_portfolio import PORTFOLIO_STRATEGY_KEYS
+
+        options = SolverOptions(allowance=allowance, seed=seed,
+                                num_samples=num_randomized_samples,
+                                generate_plan=False)
+        for key in PORTFOLIO_STRATEGY_KEYS:
+            result = service.solve(graph, key, budget, options)
+            portfolio_points[key] = (
+                {"cost": float(result.compute_cost),
+                 "memory": float(result.peak_memory)}
+                if result.feasible else None)
+
     return RoundingComparison(
         graph_name=graph.name,
         budget=int(budget),
@@ -102,6 +124,7 @@ def rounding_comparison(
         deterministic_cost=det.compute_cost if det.feasible else None,
         deterministic_memory=det.peak_memory if det.feasible else None,
         randomized_points=rand_points,
+        portfolio_points=portfolio_points,
     )
 
 

@@ -56,6 +56,15 @@ class SolverOptions:
         Node cap for the pure-Python branch-and-bound solver.
     checkpoints:
         Explicit checkpoint set for the min-R completion solver.
+    deadline_s:
+        Wall-clock deadline for the ``race`` meta-solver: the best feasible
+        schedule found within it wins.  Distinct from the serve daemon's
+        per-*job* ``deadline_s`` (which fails the job outright); this one
+        shapes the solve and still returns a result.
+    entrants:
+        Strategy keys the ``race`` meta-solver fans out (default: the four
+        rounding-portfolio schemes plus the exact ILP).  Order is preserved
+        -- it is the race's tie-break.
     """
 
     time_limit_s: Optional[float] = None
@@ -68,11 +77,18 @@ class SolverOptions:
     generate_plan: Optional[bool] = None
     max_nodes: Optional[int] = None
     checkpoints: Optional[Tuple[int, ...]] = None
+    deadline_s: Optional[float] = None
+    entrants: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.checkpoints is not None:
             object.__setattr__(self, "checkpoints",
                                tuple(sorted(int(c) for c in self.checkpoints)))
+        if self.entrants is not None:
+            # Coerce to a tuple (wire payloads carry lists) but keep order:
+            # entrant order is the race's deterministic tie-break.
+            object.__setattr__(self, "entrants",
+                               tuple(str(e) for e in self.entrants))
 
     def replace(self, **changes) -> "SolverOptions":
         """Return a copy with the given fields replaced."""

@@ -69,6 +69,11 @@ class SolverSpec:
     #: ``(1 - allowance) * budget``, coupling the solution to the budget), and
     #: heuristics have no incumbent to seed.
     warm_start_capable: bool = False
+    #: Whether the solver accepts a ``should_cancel=`` zero-arg hook and polls
+    #: it cooperatively mid-solve (between rounding candidates, between race
+    #: entrants).  The service forwards its own hook to these solvers so a
+    #: cancel/deadline can reap work *inside* a solve, not just before it.
+    accepts_should_cancel: bool = False
 
 
 class SolverRegistry:
@@ -135,9 +140,47 @@ _EXTRA_OPTION_MAPS: Dict[str, Mapping[str, str]] = {
     "checkmate_approx": _APPROX_OPTIONS,
 }
 
+#: SolverOptions fields the rounding-portfolio schemes understand.  Unlike the
+#: legacy approximation there is no ``rounding_mode``: the scheme *is* the
+#: strategy key, so mode never needs to travel as an option.
+_PORTFOLIO_OPTIONS = {
+    "lp_time_limit_s": "lp_time_limit_s",
+    "allowance": "allowance",
+    "num_samples": "num_samples",
+    "seed": "seed",
+    "generate_plan": "generate_plan",
+}
+
+#: SolverOptions fields the race meta-solver understands.  ``deadline_s`` and
+#: ``entrants`` are part of the option map on purpose: they enter the plan
+#: cache token, so schedules raced under different SLOs or entrant sets never
+#: alias one another in the cache.
+_RACE_OPTIONS = {
+    "deadline_s": "deadline_s",
+    "entrants": "entrants",
+    "time_limit_s": "time_limit_s",
+    "lp_time_limit_s": "lp_time_limit_s",
+    "allowance": "allowance",
+    "num_samples": "num_samples",
+    "seed": "seed",
+    "generate_plan": "generate_plan",
+}
+
 #: Strategies that solve (a relaxation of) the Eq. (9) MILP and therefore
 #: share the compiled budget-independent formulation arrays.
 _FORMULATION_STRATEGIES = frozenset({"checkmate_ilp", "checkmate_approx"})
+
+#: One-line descriptions of the four portfolio schemes (ROADMAP item 1).
+_PORTFOLIO_DESCRIPTIONS = {
+    "approx_fixed_half": "Two-phase LP rounding at the paper's fixed 0.5 "
+                         "threshold (portfolio baseline).",
+    "approx_threshold_sweep": "Deterministic sweep over the distinct S* "
+                              "thresholds; cheapest feasible rounding wins.",
+    "approx_random_threshold": "Seeded uniform random thresholds on S*; "
+                               "cheapest feasible rounding wins.",
+    "approx_randomized": "Fully randomized Bernoulli(S*) rounding with "
+                         "feasibility retries.",
+}
 
 #: Exact solvers that accept ``warm_start=`` (see SolverSpec.warm_start_capable).
 _WARM_CAPABLE_STRATEGIES = frozenset({"checkmate_ilp", "checkmate_bnb"})
@@ -154,6 +197,14 @@ def default_registry() -> SolverRegistry:
     from ..baselines.strategies import STRATEGIES
     from ..solvers.branch_and_bound import solve_branch_and_bound_schedule
     from ..solvers.min_r import solve_min_r_schedule
+    from ..solvers.race import solve_race
+    from ..solvers.rounding_portfolio import (
+        PORTFOLIO_SCHEMES,
+        solve_portfolio_fixed_half,
+        solve_portfolio_random_threshold,
+        solve_portfolio_randomized,
+        solve_portfolio_threshold_sweep,
+    )
 
     registry = SolverRegistry()
     for info in STRATEGIES.values():
@@ -187,5 +238,30 @@ def default_registry() -> SolverRegistry:
         memory_aware=False,
         has_budget_knob=False,
         option_map={"checkpoints": "checkpoints", "generate_plan": "generate_plan"},
+    ))
+    portfolio_solvers = {
+        "fixed_half": solve_portfolio_fixed_half,
+        "threshold_sweep": solve_portfolio_threshold_sweep,
+        "random_threshold": solve_portfolio_random_threshold,
+        "randomized": solve_portfolio_randomized,
+    }
+    for scheme in PORTFOLIO_SCHEMES:
+        key = f"approx_{scheme}"
+        registry.register(SolverSpec(
+            key=key,
+            description=_PORTFOLIO_DESCRIPTIONS[key],
+            solve=portfolio_solvers[scheme],
+            option_map=_PORTFOLIO_OPTIONS,
+            uses_formulation=True,
+            accepts_should_cancel=True,
+        ))
+    registry.register(SolverSpec(
+        key="race",
+        description="Deadline race: portfolio schemes + exact ILP in "
+                    "parallel; best feasible within deadline_s wins.",
+        solve=solve_race,
+        option_map=_RACE_OPTIONS,
+        uses_formulation=True,
+        accepts_should_cancel=True,
     ))
     return registry

@@ -119,6 +119,12 @@ class SolveStats:
     lint_warnings: int = 0
     canonical_solves: int = 0
     canonical_nodes_removed: int = 0
+    races: int = 0
+    race_wins: int = 0
+    race_no_feasible: int = 0
+    race_deadline_hits: int = 0
+    race_entrants_finished: int = 0
+    race_entrants_cancelled: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, solver_call: bool, cache_hit: Optional[bool]) -> None:
@@ -151,6 +157,33 @@ class SolveStats:
         with self._lock:
             self.executions += 1
 
+    def record_race(self, result: ScheduledResult) -> None:
+        """Update race counters from a fresh race solve's ``extra`` provenance.
+
+        ``race_entrants_finished`` counts entrants that returned a verdict
+        before the deadline; ``race_entrants_cancelled`` counts the stragglers
+        the deadline (or a caller cancel) reaped before they started.
+        """
+        race = result.extra.get("race") if result.extra else None
+        if not isinstance(race, dict):
+            return
+        lanes = race.get("entrants") or []
+        finished = sum(1 for lane in lanes
+                       if lane.get("wall_s") is not None)
+        cancelled = sum(1 for lane in lanes
+                        if "cancelled" in str(lane.get("status", ""))
+                        or lane.get("status") == "not-started")
+        with self._lock:
+            self.races += 1
+            if race.get("feasible"):
+                self.race_wins += 1
+            else:
+                self.race_no_feasible += 1
+            if race.get("deadline_hit"):
+                self.race_deadline_hits += 1
+            self.race_entrants_finished += finished
+            self.race_entrants_cancelled += cancelled
+
     def record_lint(self, report) -> None:
         """Count one pre-solve lint gate run and its findings.
 
@@ -177,6 +210,9 @@ class SolveStats:
             self.bound_skips = self.infeasible_shortcuts = 0
             self.lint_runs = self.lint_errors = self.lint_warnings = 0
             self.canonical_solves = self.canonical_nodes_removed = 0
+            self.races = self.race_wins = self.race_no_feasible = 0
+            self.race_deadline_hits = 0
+            self.race_entrants_finished = self.race_entrants_cancelled = 0
 
 
 @dataclass(frozen=True)
@@ -191,8 +227,9 @@ class SweepCell:
 #: Infeasibility verdicts that are deterministic and therefore safe to cache:
 #: proven infeasibility, heuristics whose search exhausted deterministically,
 #: and the (seeded) rounding failing the budget.  Notably absent: the MILP's
-#: bare "time_limit" (no incumbent at the wall-clock limit) and the LP's
-#: "lp-status-*" limits, which are load-dependent.
+#: bare "time_limit" (no incumbent at the wall-clock limit), the LP's
+#: "lp-status-*" limits, and the race's "race-no-feasible" /
+#: "race-deadline-exhausted" verdicts, all of which are load-dependent.
 _PROVEN_INFEASIBLE_MARKERS = ("infeasible", "over-budget", "no-feasible-b",
                               "rounding-exceeded-budget")
 
@@ -200,14 +237,17 @@ _PROVEN_INFEASIBLE_MARKERS = ("infeasible", "over-budget", "no-feasible-b",
 def _cacheable(result: ScheduledResult) -> bool:
     """Whether a result may be replayed from the cache.
 
-    Feasible schedules are always cacheable (a time-limit incumbent is still a
-    correct schedule).  An *infeasible* verdict is only cacheable when the
+    Feasible schedules are cacheable (a time-limit incumbent is still a
+    correct schedule) -- except best-so-far results a cooperative cancel cut
+    short (status ``"ok-cancelled"``), which are load-dependent: replaying one
+    would pin a worse-than-reproducible schedule under a key whose full
+    search finds better.  An *infeasible* verdict is only cacheable when the
     solver proved it; "no incumbent at the wall-clock limit" is load-dependent,
     and caching it -- especially on disk -- would replay a transient timeout
     as permanent infeasibility.
     """
     if result.feasible:
-        return True
+        return "cancelled" not in result.solver_status
     status = result.solver_status
     return any(marker in status for marker in _PROVEN_INFEASIBLE_MARKERS)
 
@@ -335,12 +375,14 @@ class SolveService:
             result, applicable = self._invoke(
                 spec, graph, budget, options, strict=strict,
                 warm_start=warm_start if warm_ok else None,
+                should_cancel=should_cancel,
             )
             self.stats.record(solver_call=True,
                               cache_hit=False if key is not None else None)
             # Warm counters move only here, after a fresh invocation: a cache hit
             # replays a stored result and must not re-count its warm markers.
             self.stats.record_warm(result)
+            self.stats.record_race(result)
             # "not-applicable" placeholders (the strategy raised before solving) are
             # never cached: they cost nothing to reproduce, and caching them would
             # make a later strict=True call return a placeholder instead of raising.
@@ -373,10 +415,16 @@ class SolveService:
 
     def _invoke(self, spec: SolverSpec, graph: DFGraph, budget: Optional[float],
                 options: SolverOptions, *, strict: bool,
-                warm_start: Optional[WarmSeed] = None):
+                warm_start: Optional[WarmSeed] = None,
+                should_cancel: Optional[Callable[[], bool]] = None):
         kwargs = options.kwargs_for(spec.option_map)
         if warm_start is not None and spec.warm_start_capable:
             kwargs["warm_start"] = warm_start
+        # Cooperative solvers (SolverSpec.accepts_should_cancel) get the hook
+        # itself, so a cancel arriving mid-solve reaps candidate loops and
+        # race entrants instead of waiting for the solve to finish.
+        if should_cancel is not None and spec.accepts_should_cancel:
+            kwargs["should_cancel"] = should_cancel
         try:
             return spec.solve(graph, budget, **kwargs), True
         except StrategyNotApplicableError as exc:
@@ -757,13 +805,27 @@ class SolveService:
                 "canonical_solves": self.stats.canonical_solves,
                 "canonical_nodes_removed": self.stats.canonical_nodes_removed,
             }
+            race = {
+                "races": self.stats.races,
+                "wins": self.stats.race_wins,
+                "no_feasible": self.stats.race_no_feasible,
+                "deadline_hits": self.stats.race_deadline_hits,
+                "entrants_finished": self.stats.race_entrants_finished,
+                "entrants_cancelled": self.stats.race_entrants_cancelled,
+            }
         snapshot["analysis"] = analysis
+        snapshot["race"] = race
         snapshot["registered_solvers"] = len(self.registry)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None
         # The compiled-formulation cache is process-wide (shared by every
         # service in the process), reported here so /v1/metrics exposes
         # compile-once effectiveness alongside the plan-cache hit rate.
         snapshot["formulation_cache"] = get_formulation_cache().stats()
+        # Likewise process-wide: the single-flight LP relaxation cache the
+        # rounding portfolio (and every race fanning it out) solves through.
+        from ..solvers.rounding_portfolio import get_lp_relaxation_cache
+
+        snapshot["lp_relaxation_cache"] = get_lp_relaxation_cache().stats()
         return snapshot
 
 

@@ -28,6 +28,19 @@ from .formulation import FormulationArrays, InfeasibleBudgetError, MILPFormulati
 from .ilp import ILP_STRATEGY_NAME, solve_ilp_rematerialization
 from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
 from .min_r import checkpoint_set_to_schedule, solve_min_r, solve_min_r_schedule
+from .race import DEFAULT_ENTRANTS, RACE_STRATEGY_NAME, solve_race
+from .rounding_portfolio import (
+    LPRelaxationCache,
+    PORTFOLIO_SCHEMES,
+    PORTFOLIO_STRATEGY_KEYS,
+    get_lp_relaxation_cache,
+    set_lp_relaxation_cache,
+    solve_portfolio_fixed_half,
+    solve_portfolio_random_threshold,
+    solve_portfolio_randomized,
+    solve_portfolio_threshold_sweep,
+    solve_rounding_portfolio,
+)
 from .warm import (
     WarmSeed,
     budget_floor_margin,
@@ -65,6 +78,19 @@ __all__ = [
     "solve_lp_relaxation",
     "checkpoint_set_to_schedule",
     "solve_min_r",
+    "DEFAULT_ENTRANTS",
+    "RACE_STRATEGY_NAME",
+    "solve_race",
+    "LPRelaxationCache",
+    "PORTFOLIO_SCHEMES",
+    "PORTFOLIO_STRATEGY_KEYS",
+    "get_lp_relaxation_cache",
+    "set_lp_relaxation_cache",
+    "solve_portfolio_fixed_half",
+    "solve_portfolio_random_threshold",
+    "solve_portfolio_randomized",
+    "solve_portfolio_threshold_sweep",
+    "solve_rounding_portfolio",
     "WarmSeed",
     "budget_floor_margin",
     "min_feasible_budget_floor",

@@ -1,0 +1,342 @@
+"""The four-scheme LP-rounding portfolio (paper §5.2 generalized).
+
+The legacy :mod:`repro.solvers.approximation` module implements exactly one
+point of the rounding design space: the paper's two-phase rounding with a
+fixed 0.5 threshold (plus a randomized mode for the Figure 8 scatter).  This
+module carries the full portfolio, every scheme operating on the *same*
+compiled-formulation LP relaxation and completing through the same
+``solve_min_r`` / ``decode`` path:
+
+``threshold_sweep``
+    Deterministic sweep over candidate thresholds drawn from the unique
+    fractional values of ``S*`` (0.5 always included); among feasible rounded
+    schedules the cheapest wins.  Dominates ``fixed_half`` by construction.
+``random_threshold``
+    ``num_samples`` thresholds drawn uniformly from ``(0, 1)`` with a seeded
+    generator; cheapest feasible rounding wins.
+``fixed_half``
+    The paper's single 0.5 threshold -- bit-identical to the legacy
+    deterministic two-phase rounding (the differential suite asserts this).
+``randomized``
+    Fully randomized rounding (``Pr[S_int = 1] = S*``) with feasibility
+    retries: up to ``num_samples`` Bernoulli draws, cheapest feasible wins.
+    The draw stream matches the legacy randomized mode exactly for equal
+    seeds, keeping the two paths differentially testable.
+
+Because the budget only enters the LP through one bound slice (see
+:mod:`repro.solvers.compiled`), all four schemes -- and the race meta-solver
+fanning them out concurrently -- share **one** LP relaxation solve per
+``(graph, lp-budget)`` through the process-wide single-flight
+:class:`LPRelaxationCache` below.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.dfgraph import DFGraph
+from ..core.schedule import ScheduleMatrices, ScheduledResult, schedule_compute_cost
+from ..core.simulator import schedule_peak_memory
+from ..obs.trace import get_tracer
+from ..utils.timer import Timer
+from .common import build_scheduled_result
+from .lp_relaxation import LPRelaxationResult, solve_lp_relaxation
+from .min_r import solve_min_r
+
+__all__ = [
+    "PORTFOLIO_SCHEMES",
+    "PORTFOLIO_STRATEGY_KEYS",
+    "LPRelaxationCache",
+    "get_lp_relaxation_cache",
+    "set_lp_relaxation_cache",
+    "solve_rounding_portfolio",
+    "solve_portfolio_threshold_sweep",
+    "solve_portfolio_random_threshold",
+    "solve_portfolio_fixed_half",
+    "solve_portfolio_randomized",
+]
+
+#: Scheme name -> registry strategy key.  Ordering matters: it is the default
+#: entrant order of the race meta-solver (cheapest first).
+PORTFOLIO_SCHEMES: Tuple[str, ...] = (
+    "fixed_half", "threshold_sweep", "random_threshold", "randomized",
+)
+PORTFOLIO_STRATEGY_KEYS: Tuple[str, ...] = tuple(
+    f"approx_{scheme}" for scheme in PORTFOLIO_SCHEMES
+)
+
+
+class LPRelaxationCache:
+    """Per-process LRU of LP relaxation solves keyed by graph structure + budget.
+
+    The fractional ``(R*, S*)`` depends only on what the formulation arrays are
+    built from (costs, memories, edges, overhead -- the structural hash) plus
+    the LP budget, so every portfolio scheme rounding the same relaxation --
+    four race entrants at one budget, or a threshold study at a fixed
+    allowance -- pays for exactly one HiGHS LP solve.  The time limit is
+    deliberately NOT part of the key: only *settled* relaxations are cached
+    (optimal or proven infeasible), and those verdicts are limit-independent
+    -- keying on the limit would shatter the race path, where each entrant
+    clamps its limit to the slightly different time remaining at its start.
+    A time-limit-truncated status is load-dependent and is handed back
+    without being stored.  Lookups are single-flighted like the
+    :class:`~repro.solvers.compiled.FormulationCache`: concurrent cold-key
+    callers block on one solver thread instead of each solving the LP.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, LPRelaxationResult]" = OrderedDict()
+        self._building: Dict[tuple, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._solves = 0
+        self._evictions = 0
+
+    @staticmethod
+    def _key(graph: DFGraph, budget: float) -> tuple:
+        from ..analysis.analyses import structural_graph_hash
+
+        return (structural_graph_hash(graph), float(budget))
+
+    def get(self, graph: DFGraph, budget: float, *,
+            time_limit_s: float = 600.0) -> LPRelaxationResult:
+        """Return the (possibly cached) LP relaxation at ``budget``."""
+        key = self._key(graph, budget)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return entry
+                waiter = self._building.get(key)
+                if waiter is None:
+                    self._building[key] = threading.Event()
+                    self._misses += 1
+                    break
+            waiter.wait()
+        try:
+            result = solve_lp_relaxation(graph, budget, time_limit_s=time_limit_s)
+        except BaseException:
+            with self._lock:
+                self._building.pop(key).set()
+            raise
+        settled = result.status in ("optimal", "infeasible") or \
+            result.status.startswith("infeasible")
+        with self._lock:
+            self._solves += 1
+            if settled and self.max_entries > 0:
+                self._entries[key] = result
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+            self._building.pop(key).set()
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "solves": self._solves,
+                "evictions": self._evictions,
+            }
+
+
+_lp_cache = LPRelaxationCache()
+_lp_cache_lock = threading.Lock()
+
+
+def get_lp_relaxation_cache() -> LPRelaxationCache:
+    """The process-wide shared LP relaxation cache."""
+    return _lp_cache
+
+
+def set_lp_relaxation_cache(cache: LPRelaxationCache) -> LPRelaxationCache:
+    """Swap the process-wide LP cache (tests); returns the previous one."""
+    global _lp_cache
+    with _lp_cache_lock:
+        previous, _lp_cache = _lp_cache, cache
+        return previous
+
+
+def _candidate_thresholds(S_frac: np.ndarray, scheme: str, num_samples: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """The thresholds one scheme tries, in evaluation order."""
+    if scheme == "fixed_half":
+        return np.array([0.5])
+    if scheme == "random_threshold":
+        return rng.uniform(0.0, 1.0, size=max(1, num_samples))
+    if scheme == "threshold_sweep":
+        # Every threshold strictly between two adjacent fractional values of
+        # S* rounds identically, so the unique values themselves enumerate all
+        # distinct deterministic roundings.  Cap the sweep at ``num_samples``
+        # evenly spaced picks to bound min-R completions on dense relaxations;
+        # 0.5 is always included so the sweep dominates ``fixed_half``.
+        unique = np.unique(S_frac[(S_frac > 0.0) & (S_frac < 1.0)])
+        if unique.size > max(1, num_samples) - 1:
+            picks = np.linspace(0, unique.size - 1,
+                                max(1, num_samples) - 1).round().astype(int)
+            unique = unique[np.unique(picks)]
+        return np.unique(np.append(unique, 0.5))
+    raise ValueError(f"unknown portfolio scheme {scheme!r}")
+
+
+_DEFAULT_SAMPLES = {
+    "fixed_half": 1,
+    "threshold_sweep": 32,
+    "random_threshold": 16,
+    "randomized": 32,
+}
+
+
+def solve_rounding_portfolio(
+    graph: DFGraph,
+    budget: Optional[float] = None,
+    *,
+    scheme: str = "threshold_sweep",
+    allowance: float = 0.1,
+    num_samples: Optional[int] = None,
+    seed: int = 0,
+    lp_time_limit_s: float = 600.0,
+    lp_result: Optional[LPRelaxationResult] = None,
+    generate_plan: bool = True,
+    strategy_name: Optional[str] = None,
+    should_cancel: Optional[Callable[[], bool]] = None,
+) -> ScheduledResult:
+    """Solve via one portfolio scheme: shared LP relaxation + rounding search.
+
+    The LP is solved at ``(1 - allowance) * budget`` (§5.3) through the
+    process-wide :class:`LPRelaxationCache`; each rounded candidate is
+    completed with the conditionally optimal ``R`` (:func:`solve_min_r`) and
+    checked against the *full* budget.  ``num_samples`` bounds the number of
+    candidates (thresholds or Bernoulli draws; default per scheme).
+
+    ``should_cancel`` makes the candidate loop cooperative: when the hook
+    fires mid-search the solve stops and returns the best candidate found so
+    far (status ``"ok-cancelled"``) or an infeasible ``"cancelled"`` result --
+    never an exception -- so a racing deadline can reap stragglers cheaply.
+    """
+    if budget is None:
+        raise ValueError("the rounding portfolio requires a memory budget")
+    if scheme not in PORTFOLIO_SCHEMES:
+        raise ValueError(
+            f"unknown portfolio scheme {scheme!r}; known: {PORTFOLIO_SCHEMES}")
+    if not (0.0 <= allowance < 1.0):
+        raise ValueError("allowance must be in [0, 1)")
+    strategy_name = strategy_name or f"approx_{scheme}"
+    samples = int(num_samples) if num_samples is not None \
+        else _DEFAULT_SAMPLES[scheme]
+
+    tracer = get_tracer()
+    with Timer() as timer, tracer.span("portfolio-round", scheme=scheme):
+        if lp_result is None:
+            lp_result = get_lp_relaxation_cache().get(
+                graph, budget * (1.0 - allowance), time_limit_s=lp_time_limit_s)
+        if not lp_result.feasible or lp_result.S_fractional is None:
+            return build_scheduled_result(
+                strategy_name, graph, None, budget=int(budget), feasible=False,
+                solve_time_s=lp_result.solve_time_s,
+                solver_status=f"lp-{lp_result.status}",
+                extra={"portfolio": {"scheme": scheme, "allowance": allowance}},
+            )
+
+        S_frac = np.asarray(lp_result.S_fractional, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        best: Optional[ScheduleMatrices] = None
+        best_cost = float("inf")
+        best_peak = 0
+        best_threshold: Optional[float] = None
+        attempts = 0
+        feasible_candidates = 0
+        cancelled = False
+
+        if scheme == "randomized":
+            # Feasibility retries: up to ``samples`` Bernoulli draws.  The
+            # draw stream (one rng.random(S.shape) per attempt) is identical
+            # to the legacy randomized mode so equal seeds round identically.
+            for _ in range(max(1, samples)):
+                if should_cancel is not None and should_cancel():
+                    cancelled = True
+                    break
+                S_int = (rng.random(S_frac.shape) < S_frac).astype(np.uint8)
+                attempts += 1
+                matrices = solve_min_r(graph, S_int)
+                peak = schedule_peak_memory(graph, matrices)
+                if peak > budget:
+                    continue
+                feasible_candidates += 1
+                cost = schedule_compute_cost(graph, matrices)
+                if cost < best_cost:
+                    best, best_cost, best_peak = matrices, cost, peak
+        else:
+            thresholds = _candidate_thresholds(S_frac, scheme, samples, rng)
+            for threshold in thresholds:
+                if should_cancel is not None and should_cancel():
+                    cancelled = True
+                    break
+                S_int = (S_frac > threshold).astype(np.uint8)
+                attempts += 1
+                matrices = solve_min_r(graph, S_int)
+                peak = schedule_peak_memory(graph, matrices)
+                if peak > budget:
+                    continue
+                feasible_candidates += 1
+                cost = schedule_compute_cost(graph, matrices)
+                if cost < best_cost:
+                    best, best_cost, best_peak = matrices, cost, peak
+                    best_threshold = float(threshold)
+
+    provenance = {
+        "scheme": scheme,
+        "allowance": allowance,
+        "attempts": attempts,
+        "feasible_candidates": feasible_candidates,
+        "cancelled": cancelled,
+    }
+    if best_threshold is not None:
+        provenance["best_threshold"] = best_threshold
+    extra = {"lp_objective": lp_result.objective, "portfolio": provenance}
+    if best is None:
+        return build_scheduled_result(
+            strategy_name, graph, None, budget=int(budget), feasible=False,
+            solve_time_s=timer.elapsed,
+            solver_status="cancelled" if cancelled else "rounding-exceeded-budget",
+            extra=extra,
+        )
+    return build_scheduled_result(
+        strategy_name, graph, best, budget=int(budget), feasible=True,
+        solve_time_s=timer.elapsed + lp_result.solve_time_s,
+        solver_status="ok-cancelled" if cancelled else "ok",
+        generate_plan=generate_plan, peak_memory=best_peak, extra=extra,
+    )
+
+
+def _scheme_solver(scheme: str) -> Callable[..., ScheduledResult]:
+    def solve(graph: DFGraph, budget: Optional[float] = None,
+              **kwargs: object) -> ScheduledResult:
+        return solve_rounding_portfolio(graph, budget, scheme=scheme, **kwargs)
+
+    solve.__name__ = f"solve_portfolio_{scheme}"
+    solve.__qualname__ = solve.__name__
+    solve.__doc__ = (f"Portfolio scheme {scheme!r} behind the uniform "
+                     f"``solve(graph, budget, **options)`` contract.")
+    return solve
+
+
+solve_portfolio_threshold_sweep = _scheme_solver("threshold_sweep")
+solve_portfolio_random_threshold = _scheme_solver("random_threshold")
+solve_portfolio_fixed_half = _scheme_solver("fixed_half")
+solve_portfolio_randomized = _scheme_solver("randomized")

@@ -230,8 +230,9 @@ def options_from_wire(payload: dict):
     if unknown:
         raise ValueError(f"unknown solver option fields on the wire: "
                          f"{sorted(unknown)}")
-    if "checkpoints" in fields and fields["checkpoints"] is not None:
-        fields = dict(fields, checkpoints=tuple(fields["checkpoints"]))
+    for tuple_field in ("checkpoints", "entrants"):
+        if fields.get(tuple_field) is not None:
+            fields = dict(fields, **{tuple_field: tuple(fields[tuple_field])})
     return SolverOptions(**fields)
 
 

@@ -50,6 +50,8 @@ FULL_OPTIONS = SolverOptions(
     generate_plan=True,
     max_nodes=500,
     checkpoints=(4, 1, 2),
+    deadline_s=2.5,
+    entrants=("approx_fixed_half", "checkmate_ilp"),
 )
 
 

@@ -1,0 +1,210 @@
+"""Property-based differential tests across the whole solver registry.
+
+Two layers of randomized cross-checking:
+
+* A **seeded matrix** of 200 random-DAG cases (25 seeds x 4 topologies x 2
+  budget fractions -- the same matrix the CI differential gate runs on every
+  supported Python) driving the four rounding-portfolio schemes, the legacy
+  two-phase oracle and the exact ILP through the same budgets.  Differential
+  invariants: zero correctness-constraint violations anywhere, feasible
+  claims respect the budget, no approximation ever beats the exact optimum,
+  ``approx_fixed_half`` is bit-identical to the legacy deterministic rounding
+  and ``approx_randomized`` to the legacy randomized mode at equal seeds, and
+  the threshold sweep dominates the fixed threshold.
+
+* A **hypothesis** layer (seeded, shrinkable) running *every* registered
+  strategy -- heuristics, exact solvers, portfolio, race -- over random
+  layered DAGs and asserting the registry-wide contract: valid schedules
+  only, budget respected when feasibility is claimed, never better than the
+  exact ILP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the seed matrix still runs without it
+    HAVE_HYPOTHESIS = False
+
+from repro.core import (
+    random_layered_dag,
+    schedule_peak_memory,
+    validate_correctness_constraints,
+)
+from repro.service import SolveService, SolverOptions, default_registry
+from repro.solvers import (
+    PORTFOLIO_SCHEMES,
+    solve_rounding_portfolio,
+)
+from repro.solvers.approximation import solve_approx_lp_rounding
+from repro.solvers.ilp import solve_ilp_rematerialization
+
+from helpers import tight_budget
+
+#: Objective comparisons tolerate solver-side rounding only.
+_TOL = 1e-6
+
+#: The fixed seed matrix: 25 seeds x 4 topologies x 2 budget fractions = 200
+#: random-graph cases.  CI runs this exact matrix on every supported Python.
+_SEEDS = range(25)
+_TOPOLOGIES = ((3, 1), (4, 2), (5, 1), (5, 2))
+_FRACTIONS = (0.4, 0.7)
+_CASES = [(seed, layers, width, fraction)
+          for seed in _SEEDS
+          for layers, width in _TOPOLOGIES
+          for fraction in _FRACTIONS]
+assert len(_CASES) >= 200
+
+#: Chunk the matrix so pytest reports progress and failures stay addressable.
+_CHUNK = 25
+_NUM_CHUNKS = (len(_CASES) + _CHUNK - 1) // _CHUNK
+
+#: Per-scheme sample counts kept small: the point is differential coverage,
+#: not search quality.
+_SAMPLES = 6
+
+
+def _case_graph(seed: int, layers: int, width: int):
+    return random_layered_dag(layers, width, seed=seed,
+                              name=f"diff-{layers}x{width}-s{seed}")
+
+
+def _assert_schedule_contract(result, graph, budget, ilp) -> None:
+    """The registry-wide differential contract for one solve result."""
+    label = f"{result.strategy} on {graph.name}"
+    if result.matrices is not None:
+        violations = validate_correctness_constraints(graph, result.matrices)
+        assert violations == [], f"{label}: constraint violations {violations[:3]}"
+    if result.feasible:
+        assert result.matrices is not None, f"{label}: feasible without matrices"
+        peak = schedule_peak_memory(graph, result.matrices)
+        assert peak <= budget, \
+            f"{label}: claims feasible but peak {peak} > budget {budget}"
+        if ilp is not None and ilp.feasible:
+            assert result.compute_cost >= ilp.compute_cost - _TOL * ilp.compute_cost, \
+                f"{label}: beats the exact ILP ({result.compute_cost} < " \
+                f"{ilp.compute_cost})"
+
+
+@pytest.mark.parametrize("chunk", range(_NUM_CHUNKS))
+def test_portfolio_differential_seed_matrix(chunk):
+    """200 seeded random-graph cases: portfolio vs legacy oracle vs exact ILP."""
+    for seed, layers, width, fraction in _CASES[chunk * _CHUNK:(chunk + 1) * _CHUNK]:
+        graph = _case_graph(seed, layers, width)
+        budget = tight_budget(graph, fraction)
+        ilp = solve_ilp_rematerialization(graph, budget, generate_plan=False)
+        _assert_schedule_contract(ilp, graph, budget, None)
+
+        results = {}
+        for scheme in PORTFOLIO_SCHEMES:
+            result = solve_rounding_portfolio(
+                graph, budget, scheme=scheme, num_samples=_SAMPLES,
+                seed=seed, generate_plan=False)
+            _assert_schedule_contract(result, graph, budget, ilp)
+            results[scheme] = result
+
+        # The exact solver proving infeasibility is the strongest verdict: no
+        # valid schedule fits, so no rounding may claim one.
+        if not ilp.feasible and "infeasible" in ilp.solver_status:
+            for scheme, result in results.items():
+                assert not result.feasible, \
+                    f"{scheme} feasible on {graph.name} where ILP proved " \
+                    f"budget {budget} infeasible"
+
+        # Oracle 1: fixed_half must reproduce the legacy deterministic
+        # two-phase rounding bit for bit (same LP, same threshold, same
+        # min-R completion).
+        legacy_det = solve_approx_lp_rounding(
+            graph, budget, mode="deterministic", generate_plan=False)
+        fixed = results["fixed_half"]
+        assert fixed.feasible == legacy_det.feasible, \
+            f"fixed_half vs legacy deterministic disagree on {graph.name}"
+        if fixed.feasible:
+            assert np.array_equal(fixed.matrices.R, legacy_det.matrices.R)
+            assert np.array_equal(fixed.matrices.S, legacy_det.matrices.S)
+
+        # Oracle 2: the randomized scheme shares the legacy randomized mode's
+        # draw stream, so equal seeds and sample counts round identically.
+        legacy_rand = solve_approx_lp_rounding(
+            graph, budget, mode="randomized", num_samples=_SAMPLES,
+            seed=seed, generate_plan=False)
+        randomized = results["randomized"]
+        assert randomized.feasible == legacy_rand.feasible, \
+            f"randomized vs legacy randomized disagree on {graph.name}"
+        if randomized.feasible:
+            assert np.array_equal(randomized.matrices.R, legacy_rand.matrices.R)
+            assert np.array_equal(randomized.matrices.S, legacy_rand.matrices.S)
+
+        # Dominance: the sweep always tries 0.5, so whenever the fixed
+        # threshold is feasible the sweep is too, and at least as cheap.
+        sweep = results["threshold_sweep"]
+        if fixed.feasible:
+            assert sweep.feasible, \
+                f"threshold_sweep infeasible where fixed_half succeeded " \
+                f"on {graph.name}"
+            assert sweep.compute_cost <= fixed.compute_cost + _TOL, \
+                f"threshold_sweep worse than its own 0.5 candidate on " \
+                f"{graph.name}"
+
+
+# --------------------------------------------------------------------------- #
+# Registry-wide hypothesis layer
+# --------------------------------------------------------------------------- #
+_service = SolveService(cache=None)
+_registry = default_registry()
+
+if HAVE_HYPOTHESIS:
+    _SETTINGS = dict(deadline=None, max_examples=10,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+    @st.composite
+    def solver_dags(draw):
+        layers = draw(st.integers(min_value=3, max_value=5))
+        width = draw(st.integers(min_value=1, max_value=2))
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        return random_layered_dag(layers, width, seed=seed)
+
+
+def _options_for(spec, graph) -> SolverOptions:
+    """Cheap options per strategy; min_r gets an explicit checkpoint set."""
+    if spec.key == "min_r":
+        return SolverOptions(checkpoints=tuple(range(0, graph.size, 2)),
+                             generate_plan=False)
+    if spec.key == "race":
+        return SolverOptions(deadline_s=30.0, num_samples=4, seed=0,
+                             generate_plan=False)
+    if spec.key == "checkmate_bnb":
+        # The reference branch-and-bound explores one LP per node; cap the
+        # tree so a dense random DAG cannot stall the whole suite.
+        return SolverOptions(max_nodes=64, generate_plan=False)
+    return SolverOptions(time_limit_s=60.0, num_samples=4, seed=0,
+                         generate_plan=False)
+
+
+def _registry_contract_case(graph, fraction):
+    """All registered strategies: valid, budget-honest, never beat the ILP."""
+    budget = tight_budget(graph, fraction)
+    ilp = _service.solve(graph, "checkmate_ilp", budget,
+                         SolverOptions(time_limit_s=60.0, generate_plan=False))
+    for spec in _registry:
+        if spec.key == "checkmate_ilp":
+            result = ilp
+        else:
+            result = _service.solve(graph, spec.key, budget,
+                                    _options_for(spec, graph), strict=False)
+        _assert_schedule_contract(result, graph, budget, ilp)
+
+
+if HAVE_HYPOTHESIS:
+    @given(solver_dags(), st.sampled_from(_FRACTIONS))
+    @settings(**_SETTINGS)
+    def test_every_registry_strategy_respects_the_contract(graph, fraction):
+        _registry_contract_case(graph, fraction)
+else:  # fallback: a fixed slice of the same space, so the gate never vanishes
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_registry_strategy_respects_the_contract(seed):
+        _registry_contract_case(random_layered_dag(4, 2, seed=seed), 0.6)
